@@ -1,0 +1,78 @@
+// Ablation benches for this implementation's own design choices (the ones
+// DESIGN.md calls out beyond the paper's Fig. 5): the DHS-definition
+// consistency term, the unrolled solver scheme, the HiPPO timescale that
+// keeps Eq. 36 non-stiff, and the Gram-matrix ridge in the attention
+// inversion. Each row trains DIFFODE on USHCN-like extrapolation.
+
+#include "bench_common.h"
+#include "ode/diff_integrator.h"
+
+namespace diffode::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  Scalar consistency_weight = 0.1;
+  ode::DiffMethod method = ode::DiffMethod::kMidpoint;
+  Scalar hippo_timescale = 0.0;  // 0 = auto
+  Scalar ridge = 1e-6;
+};
+
+const Variant kVariants[] = {
+    {"default"},
+    {"consistency=0", 0.0},
+    {"consistency=0.05", 0.05},
+    {"consistency=0.3", 0.3},
+    {"solver=euler", 0.1, ode::DiffMethod::kEuler},
+    {"solver=rk4", 0.1, ode::DiffMethod::kRk4},
+    {"hippo-tau=1(stiff)", 0.1, ode::DiffMethod::kMidpoint, 1.0},
+    {"hippo-tau=24", 0.1, ode::DiffMethod::kMidpoint, 24.0},
+    {"ridge=1e-8", 0.1, ode::DiffMethod::kMidpoint, 0.0, 1e-8},
+    {"ridge=1e-3", 0.1, ode::DiffMethod::kMidpoint, 0.0, 1e-3},
+};
+
+int Main(int argc, char** argv) {
+  const bool csv = HasFlag(argc, argv, "--csv");
+  const Index epochs = Scaled(12);
+  data::UshcnLikeConfig config;
+  config.num_stations = Scaled(36);
+  config.num_days = 120;
+  data::Dataset ds = data::MakeUshcnLike(config);
+  data::NormalizeDataset(&ds);
+
+  if (csv) {
+    std::printf("table,Design ablations\nvariant,extrap_mse,s_per_epoch\n");
+  } else {
+    std::printf("\n=== Design-choice ablations (USHCN-like extrapolation) "
+                "===\n");
+    std::printf("%-22s %14s %12s\n", "variant", "extrap MSE", "s/epoch");
+  }
+  for (const Variant& variant : kVariants) {
+    core::DiffOdeConfig mconfig;
+    mconfig.input_dim = ds.num_features;
+    mconfig.latent_dim = 32;
+    mconfig.hippo_dim = 12;
+    mconfig.info_dim = 12;
+    mconfig.step = 0.5;
+    mconfig.consistency_weight = variant.consistency_weight;
+    mconfig.hippo_timescale = variant.hippo_timescale;
+    mconfig.ridge = variant.ridge;
+    core::DiffOde model(mconfig);
+    model.set_diff_method(variant.method);
+    RegResult result = RunRegression(
+        &model, ds, train::RegressionTask::kExtrapolation, epochs);
+    if (csv) {
+      std::printf("%s,%.4f,%.4f\n", variant.name, result.mse,
+                  result.seconds_per_epoch);
+    } else {
+      std::printf("%-22s %14.4f %12.3f\n", variant.name, result.mse,
+                  result.seconds_per_epoch);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace diffode::bench
+
+int main(int argc, char** argv) { return diffode::bench::Main(argc, argv); }

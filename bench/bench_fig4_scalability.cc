@@ -1,0 +1,65 @@
+// Reproduces Fig. 4: scalability of DIFFODE vs representative baselines as
+// the USHCN-like dataset grows along two axes — number of stations
+// ("features" axis in the paper) and temporal length. For each sub-dataset
+// we report seconds per training epoch and interpolation MSE.
+
+#include "bench_common.h"
+
+namespace diffode::bench {
+namespace {
+
+const char* kModels[] = {"DIFFODE", "ODE-RNN", "ContiFormer",
+                         "GRU-D",   "mTAN",    "HiPPO-obs"};
+
+int Main(int argc, char** argv) {
+  const bool csv = HasFlag(argc, argv, "--csv");
+  const Index epochs = Scaled(3);
+  const Scalar fractions[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  const Index base_stations = Scaled(40);
+  const Index base_days = 150;
+
+  if (csv) {
+    std::printf("table,Fig 4: scalability\n");
+    std::printf("axis,fraction,model,seconds_per_epoch,interp_mse\n");
+  } else {
+    std::printf("\n=== Fig. 4: scalability (USHCN-like) ===\n");
+    std::printf("%-10s %-8s %-14s %16s %12s\n", "axis", "frac", "model",
+                "s/epoch", "interp MSE");
+  }
+  for (int axis = 0; axis < 2; ++axis) {
+    const char* axis_name = axis == 0 ? "stations" : "temporal";
+    for (Scalar frac : fractions) {
+      data::UshcnLikeConfig config;
+      config.num_stations =
+          axis == 0 ? std::max<Index>(6, static_cast<Index>(base_stations * frac))
+                    : base_stations;
+      config.num_days =
+          axis == 1 ? std::max<Index>(30, static_cast<Index>(base_days * frac))
+                    : base_days;
+      data::Dataset ds = data::MakeUshcnLike(config);
+      data::NormalizeDataset(&ds);
+      for (const char* name : kModels) {
+        ModelSpec spec;
+        spec.input_dim = ds.num_features;
+        spec.step = 0.5;
+        spec.latent_dim = 32;
+        auto model = MakeModel(name, spec);
+        RegResult result = RunRegression(
+            model.get(), ds, train::RegressionTask::kInterpolation, epochs);
+        if (csv) {
+          std::printf("%s,%.1f,%s,%.4f,%.4f\n", axis_name, frac, name,
+                      result.seconds_per_epoch, result.mse);
+        } else {
+          std::printf("%-10s %-8.1f %-14s %16.3f %12.4f\n", axis_name, frac,
+                      name, result.seconds_per_epoch, result.mse);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace diffode::bench
+
+int main(int argc, char** argv) { return diffode::bench::Main(argc, argv); }

@@ -1,0 +1,126 @@
+// google-benchmark micro-benchmarks for the numeric substrates: tensor
+// algebra, pseudoinverses, ODE solver steps, the DHS derivative, and the
+// attention inversion. These quantify the per-step costs behind the
+// complexity rows of Table V.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dhs.h"
+#include "linalg/pinv.h"
+#include "ode/solver.h"
+#include "sparsity/pt_solver.h"
+#include "tensor/random.h"
+
+namespace diffode {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{n, n});
+  Tensor b = rng.NormalTensor(Shape{n, n});
+  for (auto _ : state) benchmark::DoNotOptimize(a.MatMul(b));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_PInverseSvd(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(2);
+  Tensor a = rng.NormalTensor(Shape{n, n / 4});
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::PInverse(a));
+}
+BENCHMARK(BM_PInverseSvd)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PInverseFullRowRank(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(3);
+  Tensor a = rng.NormalTensor(Shape{n / 4, n});  // wide
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::PInverseFullRowRank(a));
+}
+BENCHMARK(BM_PInverseFullRowRank)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Rk4StepLinearSystem(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(4);
+  Tensor a = rng.NormalTensor(Shape{n, n}, 0.0, 0.1);
+  Tensor y0 = rng.NormalTensor(Shape{1, n});
+  ode::OdeFunc f = [&a](Scalar, const Tensor& y) {
+    return y.MatMul(a.Transposed());
+  };
+  ode::SolveOptions options;
+  options.method = ode::Method::kRk4;
+  options.step = 0.1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ode::Integrate(f, y0, 0.0, 1.0, options));
+}
+BENCHMARK(BM_Rk4StepLinearSystem)->Arg(16)->Arg(64);
+
+void BM_Dopri5LinearSystem(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(5);
+  Tensor a = rng.NormalTensor(Shape{n, n}, 0.0, 0.1);
+  Tensor y0 = rng.NormalTensor(Shape{1, n});
+  ode::OdeFunc f = [&a](Scalar, const Tensor& y) {
+    return y.MatMul(a.Transposed());
+  };
+  ode::SolveOptions options;
+  options.method = ode::Method::kDopri5;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ode::Integrate(f, y0, 0.0, 1.0, options));
+}
+BENCHMARK(BM_Dopri5LinearSystem)->Arg(16)->Arg(64);
+
+void BM_AttentionInverseBuild(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(6);
+  Tensor z = rng.NormalTensor(Shape{n, 16});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparsity::AttentionInverse::Build(z));
+}
+BENCHMARK(BM_AttentionInverseBuild)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_RecoverPMaxHoyer(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(7);
+  Tensor z = rng.NormalTensor(Shape{n, 16});
+  sparsity::AttentionInverse inv = sparsity::AttentionInverse::Build(z);
+  Tensor s = rng.NormalTensor(Shape{1, 16});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sparsity::RecoverP(inv, s, sparsity::PtStrategy::kMaxHoyer));
+}
+BENCHMARK(BM_RecoverPMaxHoyer)->Arg(32)->Arg(128)->Arg(512)->Arg(2048);
+
+// Theorem 1 vs Theorem 2: the exact KKT search is exponential while the
+// relaxed closed form is linear — the paper's complexity claim.
+void BM_ExactKktSmallN(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(8);
+  Tensor z = rng.NormalTensor(Shape{n, 3});
+  sparsity::AttentionInverse inv = sparsity::AttentionInverse::Build(z);
+  Tensor s = rng.NormalTensor(Shape{1, 3});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparsity::MaxHoyerExactKkt(inv, s));
+}
+BENCHMARK(BM_ExactKktSmallN)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_DhsDerivative(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index d = 16;
+  Rng rng(9);
+  ag::Var z = ag::Constant(rng.NormalTensor(Shape{n, d}));
+  core::DhsContext ctx = core::BuildDhsContext(z, 1e-8);
+  ag::Var w = ag::Constant(rng.NormalTensor(Shape{1, d}));
+  Tensor raw = rng.UniformTensor(Shape{1, n}, 0.01, 1.0);
+  ag::Var p = ag::Constant(raw * (1.0 / raw.Sum()));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::DhsDerivative(ctx, w, p));
+}
+BENCHMARK(BM_DhsDerivative)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace diffode
+
+BENCHMARK_MAIN();

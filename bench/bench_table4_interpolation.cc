@@ -1,0 +1,108 @@
+// Reproduces Table IV: interpolation and extrapolation MSE (x 10^-2, Eq. 38)
+// on the USHCN-like, PhysioNet-like and LargeST-like datasets for DIFFODE
+// and the baseline zoo.
+
+#include "bench_common.h"
+
+namespace diffode::bench {
+namespace {
+
+struct PaperRow {
+  const char* model;
+  // ushcn-interp, ushcn-extrap, physio-interp, physio-extrap,
+  // largest-interp, largest-extrap
+  Scalar v[6];
+};
+
+constexpr PaperRow kPaper[] = {
+    {"mTAN", {1.766, 2.360, 0.208, 0.340, 411.81, 466.58}},
+    {"ContiFormer", {0.837, 1.634, 0.212, 0.376, 413.62, 457.52}},
+    {"HiPPO-obs", {1.268, 2.417, 0.323, 0.855, 475.82, 522.62}},
+    {"HiPPO-RNN", {1.172, 2.324, 0.293, 0.769, 457.25, 497.25}},
+    {"S4", {0.823, 1.504, 0.229, 0.535, 437.73, 453.73}},
+    {"GRU", {1.068, 2.071, 0.364, 0.880, 522.36, 522.36}},
+    {"GRU-D", {0.994, 1.718, 0.338, 0.873, 524.13, 527.46}},
+    {"ODE-RNN", {0.831, 1.955, 0.236, 0.467, 417.45, 451.15}},
+    {"Latent ODE", {1.798, 2.034, 0.212, 0.725, 467.26, 527.18}},
+    {"GRU-ODE-Bayes", {0.841, 5.437, 0.521, 0.798, 486.82, 513.42}},
+    {"NRDE", {0.961, 1.923, 0.434, 0.819, 517.35, 557.95}},
+    {"PolyODE", {0.806, 1.842, 0.205, 0.598, 425.63, 485.57}},
+    {"DIFFODE", {0.765, 0.869, 0.175, 0.308, 365.14, 396.23}},
+};
+
+int Main(int argc, char** argv) {
+  const bool csv = HasFlag(argc, argv, "--csv");
+  const Index epochs = Scaled(15);
+
+  data::UshcnLikeConfig ushcn_config;
+  ushcn_config.num_stations = Scaled(36);
+  ushcn_config.num_days = 120;
+  data::Dataset ushcn = data::MakeUshcnLike(ushcn_config);
+  data::NormalizeDataset(&ushcn);
+
+  data::PhysioNetLikeConfig physio_config;
+  physio_config.num_patients = Scaled(36);
+  physio_config.num_channels = 12;  // scaled-down 37-channel ICU panel
+  physio_config.max_obs_per_patient = 40;
+  data::Dataset physio = data::MakePhysioNetLike(physio_config);
+  data::NormalizeDataset(&physio);
+
+  data::LargeStLikeConfig traffic_config;
+  traffic_config.num_sensors = Scaled(30);
+  traffic_config.hours_per_sensor = 24 * 7;
+  data::Dataset traffic = data::MakeLargeStLike(traffic_config);
+  data::NormalizeDataset(&traffic);
+
+  struct Job {
+    const data::Dataset* ds;
+    train::RegressionTask task;
+    const char* tag;
+  };
+  const Job jobs[] = {
+      {&ushcn, train::RegressionTask::kInterpolation, "ushcn-interp"},
+      {&ushcn, train::RegressionTask::kExtrapolation, "ushcn-extrap"},
+      {&physio, train::RegressionTask::kInterpolation, "physio-interp"},
+      {&physio, train::RegressionTask::kExtrapolation, "physio-extrap"},
+      {&traffic, train::RegressionTask::kInterpolation, "largest-interp"},
+      {&traffic, train::RegressionTask::kExtrapolation, "largest-extrap"},
+  };
+
+  std::vector<ResultRow> rows;
+  for (const PaperRow& paper : kPaper) {
+    ResultRow row;
+    row.model = paper.model;
+    for (const Job& job : jobs) {
+      std::vector<Scalar> mses;
+      for (Index seed = 0; seed < NumSeeds(); ++seed) {
+        ModelSpec spec;
+        spec.input_dim = job.ds->num_features;
+        spec.step = 0.5;
+        spec.latent_dim = 32;
+        spec.seed = 42 + static_cast<std::uint64_t>(seed);
+        auto model = MakeModel(paper.model, spec);
+        RegResult result =
+            RunRegression(model.get(), *job.ds, job.task, epochs, -1, -1,
+                          7 + static_cast<std::uint64_t>(seed));
+        mses.push_back(result.mse);
+      }
+      MeanStd stat = Summarize(mses);
+      row.values.push_back(stat.mean);
+      std::fprintf(stderr, "[table4] %s / %s: mse %.4f +/- %.4f\n",
+                   paper.model, job.tag, stat.mean, stat.stddev);
+    }
+    for (Scalar v : paper.v) row.values.push_back(v);
+    rows.push_back(std::move(row));
+  }
+  PrintTable(
+      "Table IV: interpolation/extrapolation MSE (x 1e-2)",
+      {"ushcn-int", "ushcn-ext", "physio-int", "physio-ext", "traffic-int",
+       "traffic-ext", "p_ush-int", "p_ush-ext", "p_phy-int", "p_phy-ext",
+       "p_tra-int", "p_tra-ext"},
+      rows, csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace diffode::bench
+
+int main(int argc, char** argv) { return diffode::bench::Main(argc, argv); }

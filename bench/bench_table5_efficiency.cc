@@ -1,0 +1,66 @@
+// Reproduces Table V: theoretical time complexity plus measured seconds per
+// training epoch on the USHCN-like dataset for the models the paper lists.
+// Absolute times differ from the paper (single CPU core vs the authors'
+// GPU); the reproduction target is the *relative ordering*.
+
+#include "bench_common.h"
+
+namespace diffode::bench {
+namespace {
+
+struct Row {
+  const char* model;
+  const char* complexity;
+  Scalar paper_seconds;
+};
+
+constexpr Row kRows[] = {
+    {"ContiFormer", "O(d^2 n^2 L)", 154},
+    {"HiPPO-obs", "O(dc^2 L)", 86},
+    {"GRU-D", "O(d^2 n)", 232},
+    {"ODE-RNN", "O(d^2 L)", 91},
+    {"Latent ODE", "O(d^2 L)", 110},
+    {"PolyODE", "O(dc^2 d^2 L)", 131},
+    {"DIFFODE", "O(dc^2 n L)", 126},
+};
+
+int Main(int argc, char** argv) {
+  const bool csv = HasFlag(argc, argv, "--csv");
+  data::UshcnLikeConfig config;
+  config.num_stations = Scaled(30);
+  config.num_days = 120;
+  data::Dataset ds = data::MakeUshcnLike(config);
+  data::NormalizeDataset(&ds);
+
+  std::vector<ResultRow> rows;
+  if (!csv) {
+    std::printf("\n=== Table V: model efficiency ===\n");
+    std::printf("%-16s %-16s %14s %14s\n", "model", "complexity",
+                "ms/epoch", "paper s/epoch");
+  } else {
+    std::printf("table,Table V: efficiency\nmodel,complexity,ms_per_epoch,"
+                "paper_s_per_epoch\n");
+  }
+  for (const Row& r : kRows) {
+    ModelSpec spec;
+    spec.input_dim = ds.num_features;
+    spec.step = 1.0;
+    auto model = MakeModel(r.model, spec);
+    RegResult result = RunRegression(
+        model.get(), ds, train::RegressionTask::kInterpolation, 3);
+    const double ms = result.seconds_per_epoch * 1000.0;
+    if (csv) {
+      std::printf("%s,%s,%.1f,%.0f\n", r.model, r.complexity, ms,
+                  r.paper_seconds);
+    } else {
+      std::printf("%-16s %-16s %14.1f %14.0f\n", r.model, r.complexity, ms,
+                  r.paper_seconds);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace diffode::bench
+
+int main(int argc, char** argv) { return diffode::bench::Main(argc, argv); }

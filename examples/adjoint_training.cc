@@ -1,0 +1,84 @@
+// Train a Neural ODE with the checkpointed adjoint solver: the forward pass
+// keeps no tape (O(1) memory per step) and gradients are pulled backwards
+// through one step at a time — yet they match the fully unrolled tape
+// exactly. This example fits dy/dt = f_theta(y) to a damped spiral.
+//
+//   ./examples/adjoint_training
+
+#include <cmath>
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "ode/adjoint.h"
+#include "tensor/random.h"
+
+using namespace diffode;
+
+int main() {
+  std::printf("Neural-ODE training via the checkpointed adjoint\n");
+  std::printf("=================================================\n\n");
+
+  // Ground truth: damped rotation y' = A y.
+  Tensor a_true = Tensor::FromRows(2, 2, {-0.1, -1.0, 1.0, -0.1});
+  ode::OdeFunc truth = [&](Scalar, const Tensor& y) {
+    return y.MatMul(a_true.Transposed());
+  };
+
+  // Trajectory targets at a few horizon times.
+  Tensor y0 = Tensor::FromRows(1, 2, {1.0, 0.0});
+  const std::vector<Scalar> horizons = {0.5, 1.0, 1.5, 2.0};
+  std::vector<Tensor> targets;
+  {
+    ode::SolveOptions options;
+    options.method = ode::Method::kRk4;
+    options.step = 0.01;
+    for (Scalar t : horizons)
+      targets.push_back(ode::Integrate(truth, y0, 0.0, t, options));
+  }
+
+  // Learnable dynamics.
+  Rng rng(1);
+  nn::Mlp field({2, 16, 2}, rng);
+  ode::DiffOdeFunc f = [&](Scalar, const ag::Var& y) {
+    return field.Forward(y);
+  };
+  nn::Adam opt(field.Params(), 5e-3);
+  ode::DiffSolveOptions options;
+  options.method = ode::DiffMethod::kRk4;
+  options.step = 0.1;
+
+  for (int epoch = 0; epoch <= 200; ++epoch) {
+    Scalar loss_total = 0.0;
+    for (std::size_t k = 0; k < horizons.size(); ++k) {
+      // Forward without a tape; the adjoint pass needs only dL/dy(T).
+      Tensor y1 = ode::ForwardOnly(f, y0, 0.0, horizons[k], options);
+      Tensor diff = y1 - targets[k];
+      loss_total += diff.Dot(diff);
+      // dL/dy1 of the squared error, then pull it back through the steps —
+      // parameter gradients accumulate inside `field` automatically.
+      ode::AdjointSolve(f, y0, 0.0, horizons[k], diff * 2.0, options);
+    }
+    opt.StepAndZero();
+    if (epoch % 40 == 0)
+      std::printf("epoch %3d  trajectory loss %.6f\n", epoch, loss_total);
+  }
+
+  // Inspect the learned vector field against the truth at a point *on*
+  // the fitted trajectory (off-trajectory the field is unconstrained).
+  Tensor probe;
+  {
+    ode::SolveOptions fine;
+    fine.method = ode::Method::kRk4;
+    fine.step = 0.01;
+    probe = ode::Integrate(truth, y0, 0.0, 0.75, fine);
+  }
+  Tensor learned = field.Forward(ag::Constant(probe)).value();
+  Tensor expected = probe.MatMul(a_true.Transposed());
+  std::printf("\nf(y(0.75))  learned [%7.4f %7.4f]   true [%7.4f %7.4f]\n",
+              learned[0], learned[1], expected[0], expected[1]);
+  std::printf("\nthe same gradients, without storing the whole trajectory "
+              "on the tape.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Forecast the second half of an ICU stay from the first half on the
+// PhysioNet-like dataset — the paper's extrapolation task. Compares DIFFODE
+// with a discrete GRU baseline to show the value of the continuous DHS.
+//
+//   ./examples/icu_extrapolation [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/zoo.h"
+#include "core/diffode_model.h"
+#include "data/generators.h"
+#include "data/splits.h"
+#include "train/trainer.h"
+
+using namespace diffode;
+
+namespace {
+
+Scalar TrainAndEvaluate(core::SequenceModel* model, const data::Dataset& ds,
+                        Index epochs) {
+  train::TrainOptions options;
+  options.epochs = epochs;
+  options.batch_size = 8;
+  options.lr = 3e-3;
+  options.patience = epochs;
+  train::TrainRegressor(model, ds, train::RegressionTask::kExtrapolation,
+                        options);
+  return train::EvaluateMse(model, ds.test,
+                            train::RegressionTask::kExtrapolation, 0.3, 17);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::printf("ICU vitals extrapolation (PhysioNet-like)\n");
+  std::printf("==========================================\n\n");
+
+  data::PhysioNetLikeConfig dconfig;
+  dconfig.num_patients = quick ? 20 : 48;
+  dconfig.num_channels = 12;
+  dconfig.max_obs_per_patient = 40;
+  data::Dataset ds = data::MakePhysioNetLike(dconfig);
+  data::NormalizeDataset(&ds);
+  std::printf("patients: %lld, channels: %lld, horizon: 48 h\n\n",
+              static_cast<long long>(ds.TotalSeries()),
+              static_cast<long long>(ds.num_features));
+
+  const Index epochs = quick ? 4 : 15;
+
+  core::DiffOdeConfig mconfig;
+  mconfig.input_dim = ds.num_features;
+  mconfig.latent_dim = 16;
+  mconfig.hippo_dim = 12;
+  mconfig.info_dim = 12;
+  mconfig.step = 1.0;
+  core::DiffOde diffode(mconfig);
+  const Scalar diffode_mse = TrainAndEvaluate(&diffode, ds, epochs);
+
+  baselines::BaselineConfig bconfig;
+  bconfig.input_dim = ds.num_features;
+  bconfig.hidden_dim = 16;
+  auto gru = baselines::MakeBaseline("GRU", bconfig);
+  const Scalar gru_mse = TrainAndEvaluate(gru.get(), ds, epochs);
+
+  std::printf("extrapolation MSE (x 1e-2):\n");
+  std::printf("  DIFFODE : %.4f\n", diffode_mse);
+  std::printf("  GRU     : %.4f\n", gru_mse);
+  std::printf("\nthe continuous DHS lets DIFFODE carry the patient state "
+              "forward in time\ninstead of pinning every forecast to the "
+              "last discrete hidden state.\n");
+  return 0;
+}

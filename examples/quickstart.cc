@@ -1,0 +1,97 @@
+// Quickstart: build an irregular time series, train DIFFODE on a tiny
+// classification problem, and query the continuous hidden state.
+//
+//   ./examples/quickstart
+//
+// Walks through the library's three core steps:
+//   1. wrap observations in data::IrregularSeries,
+//   2. configure and train core::DiffOde,
+//   3. classify and predict at arbitrary (unobserved) time points.
+
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "core/diffode_model.h"
+#include "nn/optimizer.h"
+#include "tensor/random.h"
+
+namespace {
+
+using namespace diffode;
+
+// A sine-ish series observed at irregular times; label = (amplitude > 0).
+data::IrregularSeries MakeWave(Scalar amplitude, std::uint64_t seed) {
+  Rng rng(seed);
+  data::IrregularSeries s;
+  const Index n = 12;
+  s.values = Tensor(Shape{n, 1});
+  s.mask = Tensor::Ones(Shape{n, 1});
+  Scalar t = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    t += rng.Uniform(0.3, 1.2);  // irregular gaps
+    s.times.push_back(t);
+    s.values.at(i, 0) = amplitude * std::sin(t) + rng.Normal(0.0, 0.05);
+  }
+  s.label = amplitude > 0 ? 1 : 0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DIFFODE quickstart\n==================\n\n");
+
+  // 1. Data: ten irregular series per class.
+  std::vector<data::IrregularSeries> train_set;
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    train_set.push_back(MakeWave(+1.0, 2 * k));
+    train_set.push_back(MakeWave(-1.0, 2 * k + 1));
+  }
+
+  // 2. Model: the paper's default configuration, scaled down.
+  core::DiffOdeConfig config;
+  config.input_dim = 1;
+  config.latent_dim = 8;
+  config.hippo_dim = 8;
+  config.info_dim = 8;
+  config.num_classes = 2;
+  config.step = 0.5;
+  core::DiffOde model(config);
+  std::printf("model has %lld trainable parameters\n",
+              static_cast<long long>(model.NumParams()));
+
+  // 3. Train with Adam on the cross-entropy loss.
+  nn::Adam optimizer(model.Params(), /*lr=*/5e-3, /*weight_decay=*/1e-3);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    Scalar epoch_loss = 0.0;
+    for (const auto& s : train_set) {
+      ag::Var loss =
+          ag::SoftmaxCrossEntropy(model.ClassifyLogits(s), {s.label});
+      epoch_loss += loss.value().item();
+      loss.Backward();
+    }
+    optimizer.ScaleGrads(1.0 / train_set.size());
+    optimizer.StepAndZero();
+    std::printf("epoch %d  mean loss %.4f\n", epoch,
+                epoch_loss / train_set.size());
+  }
+
+  // 4. Classify a fresh series.
+  data::IrregularSeries test = MakeWave(+1.0, 999);
+  ag::Var logits = model.ClassifyLogits(test);
+  std::printf("\ntest logits: %s  (true label %lld)\n",
+              logits.value().ToString().c_str(),
+              static_cast<long long>(test.label));
+
+  // 5. The DHS is continuous: query the model between and beyond
+  //    observations.
+  std::vector<Scalar> queries = {test.times[3] + 0.1,           // between obs
+                                 test.times.back() + 1.0};      // beyond
+  auto preds = model.PredictAt(test, queries);
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    std::printf("prediction at t=%.2f: %.4f\n", queries[i],
+                preds[i].value().item());
+
+  std::printf("\ndone.\n");
+  return 0;
+}

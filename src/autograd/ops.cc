@@ -1,0 +1,477 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+namespace diffode::ag {
+namespace {
+
+// Builds a node with the given forward value and parents; requires_grad is
+// inherited from any parent.
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool needs = false;
+  for (const auto& p : parents) {
+    DIFFODE_CHECK(p.defined());
+    node->parents.push_back(p.node());
+    needs = needs || p.node()->requires_grad || p.node()->backward_fn;
+  }
+  node->requires_grad = needs;
+  if (needs) node->backward_fn = std::move(backward_fn);
+  return Var(std::move(node));
+}
+
+void Accumulate(const std::shared_ptr<Node>& n, const Tensor& g) {
+  n->EnsureGrad();
+  n->grad += g;
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  return MakeNode(a.value() + b.value(), {a, b}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad);
+    Accumulate(n.parents[1], n.grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeNode(a.value() - b.value(), {a, b}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad);
+    Accumulate(n.parents[1], -n.grad);
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeNode(a.value() * b.value(), {a, b}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad * n.parents[1]->value);
+    Accumulate(n.parents[1], n.grad * n.parents[0]->value);
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  return MakeNode(a.value().CwiseQuotient(b.value()), {a, b}, [](Node& n) {
+    const Tensor& bv = n.parents[1]->value;
+    Tensor ga = n.grad.CwiseQuotient(bv);
+    Accumulate(n.parents[0], ga);
+    // d/db (a/b) = -a / b^2 = -(a/b)/b = -value/b
+    Accumulate(n.parents[1], -(n.grad * n.value.CwiseQuotient(bv)));
+  });
+}
+
+Var AddScalar(const Var& a, Scalar s) {
+  return MakeNode(a.value() + s, {a},
+                  [](Node& n) { Accumulate(n.parents[0], n.grad); });
+}
+
+Var MulScalar(const Var& a, Scalar s) {
+  return MakeNode(a.value() * s, {a},
+                  [s](Node& n) { Accumulate(n.parents[0], n.grad * s); });
+}
+
+Var Neg(const Var& a) {
+  return MakeNode(-a.value(), {a},
+                  [](Node& n) { Accumulate(n.parents[0], -n.grad); });
+}
+
+Var DivByScalarVar(const Var& a, const Var& s) {
+  DIFFODE_CHECK_EQ(s.value().numel(), 1);
+  const Scalar sv = s.value().item();
+  return MakeNode(a.value() * (1.0 / sv), {a, s}, [](Node& n) {
+    const Scalar sv = n.parents[1]->value.item();
+    Accumulate(n.parents[0], n.grad * (1.0 / sv));
+    // d/ds (a/s) = -a/s^2 = -value/s
+    Tensor gs(n.parents[1]->value.shape());
+    gs[0] = -n.grad.Dot(n.value) / sv;
+    Accumulate(n.parents[1], gs);
+  });
+}
+
+Var MulByScalarVar(const Var& a, const Var& s) {
+  DIFFODE_CHECK_EQ(s.value().numel(), 1);
+  const Scalar sv = s.value().item();
+  return MakeNode(a.value() * sv, {a, s}, [](Node& n) {
+    const Scalar sv = n.parents[1]->value.item();
+    Accumulate(n.parents[0], n.grad * sv);
+    Tensor gs(n.parents[1]->value.shape());
+    gs[0] = n.grad.Dot(n.parents[0]->value);
+    Accumulate(n.parents[1], gs);
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  return MakeNode(a.value().MatMul(b.value()), {a, b}, [](Node& n) {
+    const Tensor& av = n.parents[0]->value;
+    const Tensor& bv = n.parents[1]->value;
+    Accumulate(n.parents[0], n.grad.MatMul(bv.Transposed()));
+    Accumulate(n.parents[1], av.Transposed().MatMul(n.grad));
+  });
+}
+
+Var Transpose(const Var& a) {
+  return MakeNode(a.value().Transposed(), {a}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad.Transposed());
+  });
+}
+
+Var Reshape(const Var& a, Shape shape) {
+  return MakeNode(a.value().Reshaped(std::move(shape)), {a}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad.Reshaped(n.parents[0]->value.shape()));
+  });
+}
+
+Var AddRowVec(const Var& m, const Var& v) {
+  DIFFODE_CHECK_EQ(m.cols(), v.cols());
+  DIFFODE_CHECK_EQ(v.rows(), 1);
+  Tensor out = m.value();
+  for (Index i = 0; i < out.rows(); ++i)
+    for (Index j = 0; j < out.cols(); ++j) out.at(i, j) += v.value().at(0, j);
+  return MakeNode(std::move(out), {m, v}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad);
+    Accumulate(n.parents[1], n.grad.ColSums());
+  });
+}
+
+Var MulRowVec(const Var& m, const Var& v) {
+  DIFFODE_CHECK_EQ(m.cols(), v.cols());
+  DIFFODE_CHECK_EQ(v.rows(), 1);
+  Tensor out = m.value();
+  for (Index i = 0; i < out.rows(); ++i)
+    for (Index j = 0; j < out.cols(); ++j) out.at(i, j) *= v.value().at(0, j);
+  return MakeNode(std::move(out), {m, v}, [](Node& n) {
+    const Tensor& mv = n.parents[0]->value;
+    const Tensor& vv = n.parents[1]->value;
+    Tensor gm(mv.shape());
+    Tensor gv(vv.shape());
+    for (Index i = 0; i < mv.rows(); ++i) {
+      for (Index j = 0; j < mv.cols(); ++j) {
+        gm.at(i, j) = n.grad.at(i, j) * vv.at(0, j);
+        gv.at(0, j) += n.grad.at(i, j) * mv.at(i, j);
+      }
+    }
+    Accumulate(n.parents[0], gm);
+    Accumulate(n.parents[1], gv);
+  });
+}
+
+Var LayerNormRows(const Var& a, Scalar eps) {
+  const Tensor& x = a.value();
+  const Index r = x.rows();
+  const Index c = x.cols();
+  DIFFODE_CHECK_GT(c, 0);
+  Tensor y(x.shape());
+  Tensor inv_sigma(Shape{r, 1});
+  for (Index i = 0; i < r; ++i) {
+    Scalar mean = 0.0;
+    for (Index j = 0; j < c; ++j) mean += x.at(i, j);
+    mean /= static_cast<Scalar>(c);
+    Scalar var = 0.0;
+    for (Index j = 0; j < c; ++j) {
+      const Scalar d = x.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<Scalar>(c);
+    const Scalar inv = 1.0 / std::sqrt(var + eps);
+    inv_sigma.at(i, 0) = inv;
+    for (Index j = 0; j < c; ++j) y.at(i, j) = (x.at(i, j) - mean) * inv;
+  }
+  return MakeNode(std::move(y), {a}, [inv_sigma](Node& n) {
+    // Per row: dx = (g - mean(g) - y * mean(g .* y)) * inv_sigma.
+    const Tensor& y = n.value;
+    const Index r = y.rows();
+    const Index c = y.cols();
+    Tensor gx(y.shape());
+    for (Index i = 0; i < r; ++i) {
+      Scalar g_mean = 0.0, gy_mean = 0.0;
+      for (Index j = 0; j < c; ++j) {
+        g_mean += n.grad.at(i, j);
+        gy_mean += n.grad.at(i, j) * y.at(i, j);
+      }
+      g_mean /= static_cast<Scalar>(c);
+      gy_mean /= static_cast<Scalar>(c);
+      for (Index j = 0; j < c; ++j) {
+        gx.at(i, j) = (n.grad.at(i, j) - g_mean - y.at(i, j) * gy_mean) *
+                      inv_sigma.at(i, 0);
+      }
+    }
+    Accumulate(n.parents[0], gx);
+  });
+}
+
+Var Softmax(const Var& a) {
+  const Tensor& x = a.value();
+  Tensor y(x.shape());
+  const Index r = x.rows();
+  const Index c = x.cols();
+  for (Index i = 0; i < r; ++i) {
+    Scalar m = x.at(i, 0);
+    for (Index j = 1; j < c; ++j) m = std::max(m, x.at(i, j));
+    Scalar z = 0.0;
+    for (Index j = 0; j < c; ++j) {
+      const Scalar e = std::exp(x.at(i, j) - m);
+      y.at(i, j) = e;
+      z += e;
+    }
+    for (Index j = 0; j < c; ++j) y.at(i, j) /= z;
+  }
+  return MakeNode(std::move(y), {a}, [](Node& n) {
+    // Per row: dx = y .* (g - (g . y))
+    const Tensor& y = n.value;
+    Tensor gx(y.shape());
+    for (Index i = 0; i < y.rows(); ++i) {
+      Scalar gy = 0.0;
+      for (Index j = 0; j < y.cols(); ++j) gy += n.grad.at(i, j) * y.at(i, j);
+      for (Index j = 0; j < y.cols(); ++j)
+        gx.at(i, j) = y.at(i, j) * (n.grad.at(i, j) - gy);
+    }
+    Accumulate(n.parents[0], gx);
+  });
+}
+
+Var Tanh(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return std::tanh(x); }), {a},
+                  [](Node& n) {
+                    Tensor g = n.grad;
+                    for (Index i = 0; i < g.numel(); ++i)
+                      g[i] *= 1.0 - n.value[i] * n.value[i];
+                    Accumulate(n.parents[0], g);
+                  });
+}
+
+Var Sigmoid(const Var& a) {
+  return MakeNode(
+      a.value().Map([](Scalar x) { return 1.0 / (1.0 + std::exp(-x)); }), {a},
+      [](Node& n) {
+        Tensor g = n.grad;
+        for (Index i = 0; i < g.numel(); ++i)
+          g[i] *= n.value[i] * (1.0 - n.value[i]);
+        Accumulate(n.parents[0], g);
+      });
+}
+
+Var Relu(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return x > 0 ? x : 0.0; }), {a},
+                  [](Node& n) {
+                    Tensor g = n.grad;
+                    for (Index i = 0; i < g.numel(); ++i)
+                      if (n.parents[0]->value[i] <= 0) g[i] = 0.0;
+                    Accumulate(n.parents[0], g);
+                  });
+}
+
+Var Exp(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return std::exp(x); }), {a},
+                  [](Node& n) { Accumulate(n.parents[0], n.grad * n.value); });
+}
+
+Var Log(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return std::log(x); }), {a},
+                  [](Node& n) {
+                    Accumulate(n.parents[0],
+                               n.grad.CwiseQuotient(n.parents[0]->value));
+                  });
+}
+
+Var Sqrt(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return std::sqrt(x); }), {a},
+                  [](Node& n) {
+                    Tensor g = n.grad;
+                    for (Index i = 0; i < g.numel(); ++i)
+                      g[i] *= 0.5 / n.value[i];
+                    Accumulate(n.parents[0], g);
+                  });
+}
+
+Var Square(const Var& a) {
+  return MakeNode(a.value() * a.value(), {a}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad * n.parents[0]->value * 2.0);
+  });
+}
+
+Var Sin(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return std::sin(x); }), {a},
+                  [](Node& n) {
+                    Tensor g = n.grad;
+                    for (Index i = 0; i < g.numel(); ++i)
+                      g[i] *= std::cos(n.parents[0]->value[i]);
+                    Accumulate(n.parents[0], g);
+                  });
+}
+
+Var Cos(const Var& a) {
+  return MakeNode(a.value().Map([](Scalar x) { return std::cos(x); }), {a},
+                  [](Node& n) {
+                    Tensor g = n.grad;
+                    for (Index i = 0; i < g.numel(); ++i)
+                      g[i] *= -std::sin(n.parents[0]->value[i]);
+                    Accumulate(n.parents[0], g);
+                  });
+}
+
+Var Sum(const Var& a) {
+  Tensor out(Shape{1, 1});
+  out[0] = a.value().Sum();
+  return MakeNode(std::move(out), {a}, [](Node& n) {
+    Accumulate(n.parents[0],
+               Tensor::Full(n.parents[0]->value.shape(), n.grad[0]));
+  });
+}
+
+Var Mean(const Var& a) {
+  const Scalar inv = 1.0 / static_cast<Scalar>(a.value().numel());
+  Tensor out(Shape{1, 1});
+  out[0] = a.value().Sum() * inv;
+  return MakeNode(std::move(out), {a}, [inv](Node& n) {
+    Accumulate(n.parents[0],
+               Tensor::Full(n.parents[0]->value.shape(), n.grad[0] * inv));
+  });
+}
+
+Var Dot(const Var& a, const Var& b) {
+  DIFFODE_CHECK_EQ(a.value().numel(), b.value().numel());
+  Tensor out(Shape{1, 1});
+  out[0] = a.value().Dot(b.value());
+  return MakeNode(std::move(out), {a, b}, [](Node& n) {
+    const Scalar g = n.grad[0];
+    Accumulate(n.parents[0],
+               (n.parents[1]->value * g).Reshaped(n.parents[0]->value.shape()));
+    Accumulate(n.parents[1],
+               (n.parents[0]->value * g).Reshaped(n.parents[1]->value.shape()));
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  DIFFODE_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<Index> widths;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    widths.push_back(p.cols());
+  }
+  return MakeNode(Tensor::ConcatCols(values),
+                  std::vector<Var>(parts.begin(), parts.end()),
+                  [widths](Node& n) {
+                    Index c = 0;
+                    for (std::size_t k = 0; k < widths.size(); ++k) {
+                      Tensor g(n.parents[k]->value.shape());
+                      for (Index i = 0; i < g.rows(); ++i)
+                        for (Index j = 0; j < widths[k]; ++j)
+                          g.at(i, j) = n.grad.at(i, c + j);
+                      Accumulate(n.parents[k], g);
+                      c += widths[k];
+                    }
+                  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  DIFFODE_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<Index> heights;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    heights.push_back(p.rows());
+  }
+  return MakeNode(Tensor::ConcatRows(values),
+                  std::vector<Var>(parts.begin(), parts.end()),
+                  [heights](Node& n) {
+                    Index r = 0;
+                    for (std::size_t k = 0; k < heights.size(); ++k) {
+                      Tensor g(n.parents[k]->value.shape());
+                      for (Index i = 0; i < heights[k]; ++i)
+                        for (Index j = 0; j < g.cols(); ++j)
+                          g.at(i, j) = n.grad.at(r + i, j);
+                      Accumulate(n.parents[k], g);
+                      r += heights[k];
+                    }
+                  });
+}
+
+Var SliceCols(const Var& a, Index begin, Index count) {
+  DIFFODE_CHECK_GE(begin, 0);
+  DIFFODE_CHECK_LE(begin + count, a.cols());
+  const Index r = a.rows();
+  Tensor out(Shape{r, count});
+  for (Index i = 0; i < r; ++i)
+    for (Index j = 0; j < count; ++j) out.at(i, j) = a.value().at(i, begin + j);
+  return MakeNode(std::move(out), {a}, [begin, count](Node& n) {
+    Tensor g(n.parents[0]->value.shape());
+    for (Index i = 0; i < n.grad.rows(); ++i)
+      for (Index j = 0; j < count; ++j) g.at(i, begin + j) = n.grad.at(i, j);
+    Accumulate(n.parents[0], g);
+  });
+}
+
+Var SliceRows(const Var& a, Index begin, Index count) {
+  return MakeNode(a.value().Rows(begin, count), {a}, [begin, count](Node& n) {
+    Tensor g(n.parents[0]->value.shape());
+    for (Index i = 0; i < count; ++i)
+      for (Index j = 0; j < n.grad.cols(); ++j)
+        g.at(begin + i, j) = n.grad.at(i, j);
+    Accumulate(n.parents[0], g);
+  });
+}
+
+Var MseLoss(const Var& pred, const Tensor& target) {
+  DIFFODE_CHECK(pred.value().shape() == target.shape());
+  const Scalar inv = 1.0 / static_cast<Scalar>(target.numel());
+  Tensor diff = pred.value() - target;
+  Tensor out(Shape{1, 1});
+  out[0] = diff.Dot(diff) * inv;
+  return MakeNode(std::move(out), {pred}, [diff, inv](Node& n) {
+    Accumulate(n.parents[0], diff * (2.0 * inv * n.grad[0]));
+  });
+}
+
+Var MaskedMseLoss(const Var& pred, const Tensor& target, const Tensor& mask) {
+  DIFFODE_CHECK(pred.value().shape() == target.shape());
+  DIFFODE_CHECK(pred.value().shape() == mask.shape());
+  Scalar count = mask.Sum();
+  if (count <= 0) count = 1.0;
+  const Scalar inv = 1.0 / count;
+  Tensor diff = (pred.value() - target) * mask;
+  Tensor out(Shape{1, 1});
+  out[0] = diff.Dot(diff) * inv;
+  return MakeNode(std::move(out), {pred}, [diff, inv](Node& n) {
+    Accumulate(n.parents[0], diff * (2.0 * inv * n.grad[0]));
+  });
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels) {
+  const Index b = logits.rows();
+  const Index c = logits.cols();
+  DIFFODE_CHECK_EQ(static_cast<Index>(labels.size()), b);
+  const Tensor& x = logits.value();
+  Tensor probs(x.shape());
+  Scalar loss = 0.0;
+  for (Index i = 0; i < b; ++i) {
+    Scalar m = x.at(i, 0);
+    for (Index j = 1; j < c; ++j) m = std::max(m, x.at(i, j));
+    Scalar z = 0.0;
+    for (Index j = 0; j < c; ++j) {
+      const Scalar e = std::exp(x.at(i, j) - m);
+      probs.at(i, j) = e;
+      z += e;
+    }
+    for (Index j = 0; j < c; ++j) probs.at(i, j) /= z;
+    const Index label = labels[static_cast<std::size_t>(i)];
+    DIFFODE_CHECK_GE(label, 0);
+    DIFFODE_CHECK_LT(label, c);
+    loss -= std::log(std::max(probs.at(i, label), 1e-300));
+  }
+  Tensor out(Shape{1, 1});
+  out[0] = loss / static_cast<Scalar>(b);
+  return MakeNode(std::move(out), {logits}, [probs, labels](Node& n) {
+    Tensor g = probs;
+    const Scalar scale = n.grad[0] / static_cast<Scalar>(g.rows());
+    for (Index i = 0; i < g.rows(); ++i) {
+      g.at(i, labels[static_cast<std::size_t>(i)]) -= 1.0;
+      for (Index j = 0; j < g.cols(); ++j) g.at(i, j) *= scale;
+    }
+    Accumulate(n.parents[0], g);
+  });
+}
+
+}  // namespace diffode::ag

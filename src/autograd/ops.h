@@ -1,0 +1,89 @@
+#ifndef DIFFODE_AUTOGRAD_OPS_H_
+#define DIFFODE_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace diffode::ag {
+
+// Differentiable operations over Vars. Each builds a fresh tape node whose
+// backward_fn scatters gradients into the operands. Scalars produced by
+// reductions are 1x1 matrices so every Var stays 2-D.
+
+// Elementwise (identical shapes).
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Div(const Var& a, const Var& b);
+
+// Scalar (compile-time constant) forms.
+Var AddScalar(const Var& a, Scalar s);
+Var MulScalar(const Var& a, Scalar s);
+Var Neg(const Var& a);
+
+// a / s where s is a 1x1 Var.
+Var DivByScalarVar(const Var& a, const Var& s);
+// a * s where s is a 1x1 Var.
+Var MulByScalarVar(const Var& a, const Var& s);
+
+// Matrix ops (2-D).
+Var MatMul(const Var& a, const Var& b);
+Var Transpose(const Var& a);
+Var Reshape(const Var& a, Shape shape);
+
+// Broadcast: each row of m (r x c) plus the row vector v (1 x c).
+Var AddRowVec(const Var& m, const Var& v);
+// Broadcast: each row of m (r x c) times the row vector v (1 x c).
+Var MulRowVec(const Var& m, const Var& v);
+
+// Row-wise layer normalization: each row is shifted to zero mean and
+// scaled to unit variance (y = (x - mu) / sqrt(var + eps)). Affine gain
+// and bias are composed externally via MulRowVec / AddRowVec.
+Var LayerNormRows(const Var& a, Scalar eps = 1e-5);
+
+// Row-wise softmax of a 2-D tensor.
+Var Softmax(const Var& a);
+
+// Elementwise nonlinearities.
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var Relu(const Var& a);
+Var Exp(const Var& a);
+Var Log(const Var& a);
+Var Sqrt(const Var& a);
+Var Square(const Var& a);
+Var Sin(const Var& a);
+Var Cos(const Var& a);
+
+// Reductions to a 1x1 Var.
+Var Sum(const Var& a);
+Var Mean(const Var& a);
+Var Dot(const Var& a, const Var& b);
+
+// Structural ops.
+Var ConcatCols(const std::vector<Var>& parts);
+Var ConcatRows(const std::vector<Var>& parts);
+Var SliceCols(const Var& a, Index begin, Index count);
+Var SliceRows(const Var& a, Index begin, Index count);
+
+// Losses (targets are plain tensors / labels, not differentiated).
+// Mean squared error over all elements; `mask` (same shape, 0/1) restricts
+// the average to observed entries when provided.
+Var MseLoss(const Var& pred, const Tensor& target);
+Var MaskedMseLoss(const Var& pred, const Tensor& target, const Tensor& mask);
+// Mean cross-entropy of row-wise softmax(logits) against integer labels.
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels);
+
+// Convenience operators.
+inline Var operator+(const Var& a, const Var& b) { return Add(a, b); }
+inline Var operator-(const Var& a, const Var& b) { return Sub(a, b); }
+inline Var operator*(const Var& a, const Var& b) { return Mul(a, b); }
+inline Var operator*(const Var& a, Scalar s) { return MulScalar(a, s); }
+inline Var operator*(Scalar s, const Var& a) { return MulScalar(a, s); }
+inline Var operator+(const Var& a, Scalar s) { return AddScalar(a, s); }
+inline Var operator-(const Var& a) { return Neg(a); }
+
+}  // namespace diffode::ag
+
+#endif  // DIFFODE_AUTOGRAD_OPS_H_

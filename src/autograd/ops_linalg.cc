@@ -1,0 +1,42 @@
+#include "autograd/ops_linalg.h"
+
+#include "autograd/ops.h"
+#include "linalg/lu.h"
+
+namespace diffode::ag {
+namespace {
+
+Var MakeInverseNode(const Var& a, Tensor inv) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(inv);
+  node->parents = {a.node()};
+  node->requires_grad = a.node()->requires_grad || bool(a.node()->backward_fn);
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      // d/dA of A^{-1}: dA = -A^{-T} G A^{-T}.
+      const Tensor inv_t = n.value.Transposed();
+      Tensor ga = inv_t.MatMul(n.grad).MatMul(inv_t) * -1.0;
+      n.parents[0]->EnsureGrad();
+      n.parents[0]->grad += ga;
+    };
+  }
+  return Var(std::move(node));
+}
+
+}  // namespace
+
+Var Inverse(const Var& a) {
+  DIFFODE_CHECK_EQ(a.rows(), a.cols());
+  return MakeInverseNode(a, linalg::Inverse(a.value()));
+}
+
+Var RidgeInverse(const Var& a, Scalar ridge) {
+  DIFFODE_CHECK_EQ(a.rows(), a.cols());
+  Tensor reg = a.value();
+  for (Index i = 0; i < reg.rows(); ++i) reg.at(i, i) += ridge;
+  // The ridge shifts only the forward value; d(A + rI)/dA = I, so the
+  // inverse-gradient formula applies unchanged with the regularized inverse.
+  return MakeInverseNode(a, linalg::Inverse(reg));
+}
+
+}  // namespace diffode::ag

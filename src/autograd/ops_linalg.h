@@ -1,0 +1,18 @@
+#ifndef DIFFODE_AUTOGRAD_OPS_LINALG_H_
+#define DIFFODE_AUTOGRAD_OPS_LINALG_H_
+
+#include "autograd/variable.h"
+
+namespace diffode::ag {
+
+// Differentiable inverse of a square matrix (LU under the hood).
+// Backward: dA = -A^{-T} G A^{-T}.
+Var Inverse(const Var& a);
+
+// Differentiable inverse of (A + ridge*I); the ridge stabilizes Gram
+// matrices like ZᵀZ when Z is nearly rank-deficient.
+Var RidgeInverse(const Var& a, Scalar ridge);
+
+}  // namespace diffode::ag
+
+#endif  // DIFFODE_AUTOGRAD_OPS_LINALG_H_

@@ -1,0 +1,52 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace diffode::ag {
+namespace {
+
+// Iterative post-order DFS over parents; returns nodes so that every node
+// appears after all nodes that depend on it when iterated in reverse.
+void TopoSort(Node* root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child != nullptr && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Var::Backward() { Backward(Tensor::Ones(node_->value.shape())); }
+
+void Var::Backward(const Tensor& seed) {
+  DIFFODE_CHECK(node_ != nullptr);
+  DIFFODE_CHECK(seed.shape() == node_->value.shape());
+  std::vector<Node*> order;
+  TopoSort(node_.get(), &order);
+  node_->EnsureGrad();
+  node_->grad += seed;
+  // Post-order places dependencies first; walk from the root backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) {
+      n->EnsureGrad();
+      n->backward_fn(*n);
+    }
+  }
+}
+
+}  // namespace diffode::ag

@@ -1,0 +1,76 @@
+#ifndef DIFFODE_AUTOGRAD_VARIABLE_H_
+#define DIFFODE_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::ag {
+
+// One node of the reverse-mode tape. Nodes own their forward value and an
+// accumulated gradient buffer. Intermediate nodes are created afresh on every
+// forward pass; parameter nodes are long-lived and shared between passes, so
+// gradient accumulation across samples falls out naturally.
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Scatters this node's gradient into its parents' gradients.
+  std::function<void(Node&)> backward_fn;
+
+  void EnsureGrad() {
+    if (grad.shape() != value.shape()) grad = Tensor(value.shape());
+  }
+};
+
+// Lightweight handle to a tape node (shared ownership).
+class Var {
+ public:
+  Var() = default;
+  explicit Var(Tensor value, bool requires_grad = false)
+      : node_(std::make_shared<Node>()) {
+    node_->value = std::move(value);
+    node_->requires_grad = requires_grad;
+  }
+  explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  Tensor& grad() {
+    node_->EnsureGrad();
+    return node_->grad;
+  }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  Index rows() const { return node_->value.rows(); }
+  Index cols() const { return node_->value.cols(); }
+  const Shape& shape() const { return node_->value.shape(); }
+
+  // Runs reverse-mode accumulation from this (scalar) node. Seeds the output
+  // gradient with 1 (or `seed` if given) and walks the tape in reverse
+  // topological order.
+  void Backward();
+  void Backward(const Tensor& seed);
+
+  void ZeroGrad() {
+    if (node_) node_->grad = Tensor(node_->value.shape());
+  }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// Creates a non-trainable constant node.
+inline Var Constant(Tensor value) { return Var(std::move(value), false); }
+
+// Creates a trainable parameter node (long-lived; gradients accumulate).
+inline Var Param(Tensor value) { return Var(std::move(value), true); }
+
+}  // namespace diffode::ag
+
+#endif  // DIFFODE_AUTOGRAD_VARIABLE_H_

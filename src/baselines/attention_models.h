@@ -1,0 +1,110 @@
+#ifndef DIFFODE_BASELINES_ATTENTION_MODELS_H_
+#define DIFFODE_BASELINES_ATTENTION_MODELS_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/random.h"
+
+namespace diffode::baselines {
+
+// Learned sinusoidal time embedding e(t) = sin(t wᵀ + b), shared by the
+// attention-family baselines (mTAN's "multi-time attention" embedding).
+class TimeEmbedding : public nn::Module {
+ public:
+  TimeEmbedding(Index dim, Rng& rng)
+      : freq_(ag::Param(rng.UniformTensor(Shape{1, dim}, 0.1, 2.0))),
+        phase_(ag::Param(rng.UniformTensor(Shape{1, dim}, 0.0, 6.28))) {}
+
+  // times: k x 1 column of (normalized) times -> k x dim embeddings.
+  ag::Var Forward(const ag::Var& times) const {
+    return ag::Sin(ag::AddRowVec(ag::MatMul(times, freq_), phase_));
+  }
+
+  void CollectParams(std::vector<ag::Var>* out) const override {
+    out->push_back(freq_);
+    out->push_back(phase_);
+  }
+
+ private:
+  ag::Var freq_;
+  ag::Var phase_;
+};
+
+// mTAN-lite (Shukla & Marlin 2021): attention from learned reference time
+// points to the observations through time embeddings produces a fixed-length
+// representation; queries attend with their own time embedding. The full
+// model's VAE branch is omitted (deterministic limit; see DESIGN.md).
+class MtanBaseline : public core::SequenceModel {
+ public:
+  explicit MtanBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "mTAN"; }
+
+ private:
+  struct Keys {
+    ag::Var key_embed;   // n x E
+    ag::Var values;      // n x hidden
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  Keys BuildKeys(const data::IrregularSeries& context) const;
+  ag::Var Attend(const Keys& keys, const ag::Var& query_embed) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<TimeEmbedding> time_embed_;
+  std::unique_ptr<nn::Linear> value_proj_;
+  ag::Var ref_points_;  // K x 1 learned reference times
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+// ContiFormer-lite (Chen et al. 2024): transformer attention in continuous
+// time — GRU-encoded latents serve as keys/values, queries are built from
+// time embeddings, and the attended representation is refined by a small
+// neural ODE flow over the distance to the nearest observation (standing in
+// for the full model's ODE-evolved keys).
+class ContiFormerBaseline : public core::SequenceModel {
+ public:
+  explicit ContiFormerBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "ContiFormer"; }
+
+ private:
+  struct Keys {
+    ag::Var latents;     // n x hidden (GRU states)
+    ag::Var key_proj;    // n x hidden
+    std::vector<Scalar> norm_times;
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  Keys BuildKeys(const data::IrregularSeries& context) const;
+  ag::Var RepresentationAt(const Keys& keys, Scalar norm_t) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::GruCell> encoder_;
+  std::unique_ptr<TimeEmbedding> time_embed_;
+  std::unique_ptr<nn::Linear> query_proj_;  // E -> hidden
+  std::unique_ptr<nn::Linear> key_proj_;    // hidden -> hidden
+  std::unique_ptr<nn::Mlp> flow_;           // hidden -> hidden ODE field
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_ATTENTION_MODELS_H_

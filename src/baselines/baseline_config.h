@@ -1,0 +1,27 @@
+#ifndef DIFFODE_BASELINES_BASELINE_CONFIG_H_
+#define DIFFODE_BASELINES_BASELINE_CONFIG_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace diffode::baselines {
+
+// Shared hyper-parameters for the baseline zoo (Sec. IV-A2 of the paper).
+// Every baseline is sized comparably to DIFFODE so Tables III-V compare
+// architectures, not capacities.
+struct BaselineConfig {
+  Index input_dim = 1;
+  Index hidden_dim = 16;
+  Index mlp_hidden = 32;
+  Index num_classes = 2;
+  Index hippo_dim = 16;     // LegS order for HiPPO-flavoured baselines
+  Index time_embed_dim = 8; // mTAN / ContiFormer time embeddings
+  Index num_ref_points = 8; // mTAN reference points
+  Scalar step = 1.0;        // ODE integration step for ODE-based baselines
+  std::uint64_t seed = 42;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_BASELINE_CONFIG_H_

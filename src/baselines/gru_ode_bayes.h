@@ -1,0 +1,60 @@
+#ifndef DIFFODE_BASELINES_GRU_ODE_BAYES_H_
+#define DIFFODE_BASELINES_GRU_ODE_BAYES_H_
+
+#include <memory>
+
+#include "baselines/jump_ode_base.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace diffode::baselines {
+
+// GRU-ODE-Bayes (De Brouwer et al. 2019): between observations the hidden
+// state follows the autonomous GRU-ODE dh/dt = (1 - u(h)) * (c(h) - h)
+// (a continuity prior pulling h toward the candidate activation); at each
+// observation a discrete GRU "Bayes update" folds the measurement in.
+class GruOdeBayesBaseline : public JumpOdeBase {
+ public:
+  explicit GruOdeBayesBaseline(const BaselineConfig& config)
+      : JumpOdeBase(config, config.hidden_dim) {
+    update_gate_ =
+        std::make_unique<nn::Linear>(config.hidden_dim, config.hidden_dim,
+                                     rng());
+    candidate_ =
+        std::make_unique<nn::Linear>(config.hidden_dim, config.hidden_dim,
+                                     rng());
+    cell_ = std::make_unique<nn::GruCell>(2 * config.input_dim + 2,
+                                          config.hidden_dim, rng());
+  }
+
+  std::string name() const override { return "GRU-ODE-Bayes"; }
+
+ protected:
+  ode::DiffOdeFunc ContinuousDynamics() const override {
+    return [this](Scalar, const ag::Var& h) {
+      ag::Var u = ag::Sigmoid(update_gate_->Forward(h));
+      ag::Var c = ag::Tanh(candidate_->Forward(h));
+      // (1 - u) * (c - h)
+      return ag::Mul(ag::AddScalar(ag::Neg(u), 1.0), ag::Sub(c, h));
+    };
+  }
+
+  ag::Var JumpUpdate(const ag::Var& row, const ag::Var& state) const override {
+    return cell_->Forward(row, state);
+  }
+
+  void CollectOwnParams(std::vector<ag::Var>* out) const override {
+    update_gate_->CollectParams(out);
+    candidate_->CollectParams(out);
+    cell_->CollectParams(out);
+  }
+
+ private:
+  std::unique_ptr<nn::Linear> update_gate_;
+  std::unique_ptr<nn::Linear> candidate_;
+  std::unique_ptr<nn::GruCell> cell_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_GRU_ODE_BAYES_H_

@@ -1,0 +1,219 @@
+#include "baselines/hippo_models.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "data/encoding.h"
+#include "hippo/hippo.h"
+
+namespace diffode::baselines {
+
+// ---------------------------------------------------------------------------
+// HiPPO-RNN
+// ---------------------------------------------------------------------------
+
+HippoRnnBaseline::HippoRnnBaseline(const BaselineConfig& config)
+    : config_(config), rng_(config.seed) {
+  const Index enc_in = 2 * config_.input_dim + 2;
+  cell_ = std::make_unique<nn::GruCell>(enc_in + config_.hippo_dim,
+                                        config_.hidden_dim, rng_);
+  memory_in_ = std::make_unique<nn::Linear>(config_.hidden_dim, 1, rng_);
+  a_t_ = hippo::MakeLegsA(config_.hippo_dim).Transposed();
+  b_t_ = hippo::MakeLegsB(config_.hippo_dim).Transposed();
+  const Index state = config_.hidden_dim + config_.hippo_dim;
+  cls_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{state, config_.mlp_hidden, config_.num_classes},
+      rng_);
+  reg_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{state + 1, config_.mlp_hidden, config_.input_dim},
+      rng_);
+}
+
+HippoRnnBaseline::RunResult HippoRnnBaseline::Run(
+    const data::IrregularSeries& context) const {
+  data::EncoderInputs enc = data::BuildEncoderInputs(context);
+  ag::Var x = ag::Constant(enc.inputs);
+  ag::Var h = cell_->InitialState(1);
+  ag::Var c = ag::Constant(Tensor(Shape{1, config_.hippo_dim}));
+  ag::Var a_t = ag::Constant(a_t_);
+  ag::Var b_t = ag::Constant(b_t_);
+  Scalar prev = enc.norm_times.front();
+  for (Index i = 0; i < context.length(); ++i) {
+    // Clamp so the explicit memory update stays stable for the LegS
+    // spectrum (|lambda_max| ~ hippo_dim needs dt * lambda_max <= 1).
+    const Scalar dt = std::clamp(
+        enc.norm_times[static_cast<std::size_t>(i)] - prev, 0.05,
+        1.0 / static_cast<Scalar>(config_.hippo_dim));
+    prev = enc.norm_times[static_cast<std::size_t>(i)];
+    h = cell_->Forward(ag::ConcatCols({ag::SliceRows(x, i, 1), c}), h);
+    // Discrete LegS memory update with the actual time gap:
+    // c <- c + dt (A c + B w(h)).
+    ag::Var dc = ag::Add(ag::MatMul(c, a_t),
+                         ag::MulByScalarVar(b_t, memory_in_->Forward(h)));
+    c = ag::Add(c, ag::MulScalar(dc, dt));
+  }
+  RunResult out;
+  out.state = ag::ConcatCols({h, c});
+  out.t_scale = enc.t_scale;
+  out.t_offset = enc.t_offset;
+  return out;
+}
+
+ag::Var HippoRnnBaseline::ClassifyLogits(
+    const data::IrregularSeries& context) {
+  return cls_head_->Forward(Run(context).state);
+}
+
+std::vector<ag::Var> HippoRnnBaseline::PredictAt(
+    const data::IrregularSeries& context, const std::vector<Scalar>& times) {
+  RunResult run = Run(context);
+  std::vector<ag::Var> preds;
+  preds.reserve(times.size());
+  for (Scalar t : times) {
+    ag::Var t_var = ag::Constant(
+        Tensor::Full(Shape{1, 1}, (t - run.t_offset) * run.t_scale));
+    preds.push_back(reg_head_->Forward(ag::ConcatCols({run.state, t_var})));
+  }
+  return preds;
+}
+
+void HippoRnnBaseline::CollectParams(std::vector<ag::Var>* out) const {
+  cell_->CollectParams(out);
+  memory_in_->CollectParams(out);
+  cls_head_->CollectParams(out);
+  reg_head_->CollectParams(out);
+}
+
+// ---------------------------------------------------------------------------
+// HiPPO-obs
+// ---------------------------------------------------------------------------
+
+HippoObsBaseline::HippoObsBaseline(const BaselineConfig& config)
+    : config_(config), rng_(config.seed) {
+  const Index features = config_.input_dim * config_.hippo_dim;
+  cls_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{features, config_.mlp_hidden, config_.num_classes},
+      rng_);
+  reg_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{features + 1, config_.mlp_hidden, config_.input_dim},
+      rng_);
+}
+
+Tensor HippoObsBaseline::Project(const data::IrregularSeries& context) const {
+  const Index f = config_.input_dim;
+  Tensor features(Shape{1, f * config_.hippo_dim});
+  for (Index j = 0; j < f; ++j) {
+    hippo::LegsProjector projector(config_.hippo_dim);
+    Scalar last = 0.0;
+    for (Index i = 0; i < context.length(); ++i) {
+      if (context.mask.at(i, j) > 0) last = context.values.at(i, j);
+      projector.Update(last);  // carry the last observation forward
+    }
+    for (Index k = 0; k < config_.hippo_dim; ++k)
+      features.at(0, j * config_.hippo_dim + k) = projector.coeffs().at(k, 0);
+  }
+  return features;
+}
+
+ag::Var HippoObsBaseline::ClassifyLogits(
+    const data::IrregularSeries& context) {
+  return cls_head_->Forward(ag::Constant(Project(context)));
+}
+
+std::vector<ag::Var> HippoObsBaseline::PredictAt(
+    const data::IrregularSeries& context, const std::vector<Scalar>& times) {
+  data::EncoderInputs enc = data::BuildEncoderInputs(context);
+  ag::Var features = ag::Constant(Project(context));
+  std::vector<ag::Var> preds;
+  preds.reserve(times.size());
+  for (Scalar t : times) {
+    ag::Var t_var = ag::Constant(Tensor::Full(Shape{1, 1}, enc.Normalize(t)));
+    preds.push_back(reg_head_->Forward(ag::ConcatCols({features, t_var})));
+  }
+  return preds;
+}
+
+void HippoObsBaseline::CollectParams(std::vector<ag::Var>* out) const {
+  cls_head_->CollectParams(out);
+  reg_head_->CollectParams(out);
+}
+
+// ---------------------------------------------------------------------------
+// S4-lite
+// ---------------------------------------------------------------------------
+
+S4LiteBaseline::S4LiteBaseline(const BaselineConfig& config)
+    : config_(config), rng_(config.seed) {
+  const Index enc_in = 2 * config_.input_dim + 2;
+  input_proj_ = std::make_unique<nn::Linear>(enc_in, 1, rng_);
+  output_proj_ =
+      std::make_unique<nn::Linear>(config_.hippo_dim, config_.hidden_dim,
+                                   rng_);
+  a_t_ = hippo::MakeLegsA(config_.hippo_dim).Transposed();
+  b_t_ = hippo::MakeLegsB(config_.hippo_dim).Transposed();
+  const Index state = config_.hippo_dim + config_.hidden_dim;
+  cls_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{state, config_.mlp_hidden, config_.num_classes},
+      rng_);
+  reg_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{state + 1, config_.mlp_hidden, config_.input_dim},
+      rng_);
+}
+
+S4LiteBaseline::RunResult S4LiteBaseline::Run(
+    const data::IrregularSeries& context) const {
+  data::EncoderInputs enc = data::BuildEncoderInputs(context);
+  ag::Var x = ag::Constant(enc.inputs);
+  ag::Var c = ag::Constant(Tensor(Shape{1, config_.hippo_dim}));
+  ag::Var a_t = ag::Constant(a_t_);
+  ag::Var b_t = ag::Constant(b_t_);
+  ag::Var pooled = ag::Constant(Tensor(Shape{1, config_.hidden_dim}));
+  Scalar prev = enc.norm_times.front();
+  const Index n = context.length();
+  for (Index i = 0; i < n; ++i) {
+    // Clamp the step so the explicit SSM update stays stable for the LegS
+    // spectrum (|lambda_max| ~ hippo_dim).
+    const Scalar gap = enc.norm_times[static_cast<std::size_t>(i)] - prev;
+    const Scalar dt =
+        std::clamp(gap, 0.02, 1.5 / static_cast<Scalar>(config_.hippo_dim));
+    prev = enc.norm_times[static_cast<std::size_t>(i)];
+    ag::Var u = input_proj_->Forward(ag::SliceRows(x, i, 1));  // 1 x 1
+    ag::Var dc = ag::Add(ag::MatMul(c, a_t), ag::MulByScalarVar(b_t, u));
+    c = ag::Add(c, ag::MulScalar(dc, dt));
+    pooled = ag::Add(pooled, ag::Tanh(output_proj_->Forward(c)));
+  }
+  RunResult out;
+  out.state = c;
+  out.pooled = ag::MulScalar(pooled, 1.0 / static_cast<Scalar>(n));
+  out.t_scale = enc.t_scale;
+  out.t_offset = enc.t_offset;
+  return out;
+}
+
+ag::Var S4LiteBaseline::ClassifyLogits(const data::IrregularSeries& context) {
+  RunResult run = Run(context);
+  return cls_head_->Forward(ag::ConcatCols({run.state, run.pooled}));
+}
+
+std::vector<ag::Var> S4LiteBaseline::PredictAt(
+    const data::IrregularSeries& context, const std::vector<Scalar>& times) {
+  RunResult run = Run(context);
+  ag::Var state = ag::ConcatCols({run.state, run.pooled});
+  std::vector<ag::Var> preds;
+  preds.reserve(times.size());
+  for (Scalar t : times) {
+    ag::Var t_var = ag::Constant(
+        Tensor::Full(Shape{1, 1}, (t - run.t_offset) * run.t_scale));
+    preds.push_back(reg_head_->Forward(ag::ConcatCols({state, t_var})));
+  }
+  return preds;
+}
+
+void S4LiteBaseline::CollectParams(std::vector<ag::Var>* out) const {
+  input_proj_->CollectParams(out);
+  output_proj_->CollectParams(out);
+  cls_head_->CollectParams(out);
+  reg_head_->CollectParams(out);
+}
+
+}  // namespace diffode::baselines

@@ -1,0 +1,105 @@
+#ifndef DIFFODE_BASELINES_HIPPO_MODELS_H_
+#define DIFFODE_BASELINES_HIPPO_MODELS_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/random.h"
+
+namespace diffode::baselines {
+
+// HiPPO-RNN (Gu et al. 2020): a GRU whose input is augmented with the
+// running LegS projection of a learned scalar readout of the hidden state,
+// giving the recurrence long-range polynomial memory.
+class HippoRnnBaseline : public core::SequenceModel {
+ public:
+  explicit HippoRnnBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "HiPPO-RNN"; }
+
+ private:
+  struct RunResult {
+    ag::Var state;  // 1 x (hidden + hippo)
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  RunResult Run(const data::IrregularSeries& context) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::GruCell> cell_;
+  std::unique_ptr<nn::Linear> memory_in_;  // hidden -> 1
+  Tensor a_t_;  // LegS Aᵀ
+  Tensor b_t_;  // LegS Bᵀ
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+// HiPPO-obs (the paper's variant, following PolyODE): the LegS operator is
+// applied directly to each observed channel; the resulting per-channel
+// Legendre coefficients are static features for MLP heads.
+class HippoObsBaseline : public core::SequenceModel {
+ public:
+  explicit HippoObsBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "HiPPO-obs"; }
+
+ private:
+  // f * hippo_dim coefficient features (plain tensors; the projection is a
+  // fixed operator, only the heads train).
+  Tensor Project(const data::IrregularSeries& context) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+// S4-lite (Gu et al. 2022, reduced): a diagonal-free structured SSM layer —
+// fixed LegS state matrix, trained input/output projections, stepped with
+// the observation gaps — followed by MLP heads. Captures the SSM-family
+// behaviour at this harness's scale without the FFT kernel machinery.
+class S4LiteBaseline : public core::SequenceModel {
+ public:
+  explicit S4LiteBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "S4"; }
+
+ private:
+  struct RunResult {
+    ag::Var state;    // 1 x hippo_dim SSM state after the last step
+    ag::Var pooled;   // 1 x hidden mean-pooled SSM outputs
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  RunResult Run(const data::IrregularSeries& context) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::Linear> input_proj_;   // enc_in -> 1
+  std::unique_ptr<nn::Linear> output_proj_;  // hippo_dim -> hidden
+  Tensor a_t_;
+  Tensor b_t_;
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_HIPPO_MODELS_H_

@@ -1,0 +1,51 @@
+#ifndef DIFFODE_BASELINES_LATENT_ODE_H_
+#define DIFFODE_BASELINES_LATENT_ODE_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/random.h"
+
+namespace diffode::baselines {
+
+// Latent ODE (Chen et al. 2018 / Rubanova et al. 2019): a backward-in-time
+// GRU encoder produces the initial latent z0; the whole trajectory is
+// decoded from the single deterministic latent rolled forward by a learned
+// ODE. (The VAE sampling of the original is replaced by its posterior mean —
+// the deterministic limit — which keeps the training loop identical across
+// baselines; see DESIGN.md substitutions.)
+class LatentOdeBaseline : public core::SequenceModel {
+ public:
+  explicit LatentOdeBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "Latent ODE"; }
+
+ private:
+  struct Encoded {
+    ag::Var z0;  // 1 x hidden
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  Encoded Encode(const data::IrregularSeries& context) const;
+  ag::Var Evolve(const ag::Var& z0, Scalar from, Scalar to) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::GruCell> encoder_;   // consumed back-to-front
+  std::unique_ptr<nn::Linear> to_latent_;
+  std::unique_ptr<nn::Mlp> dynamics_;
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_LATENT_ODE_H_

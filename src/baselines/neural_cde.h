@@ -1,0 +1,56 @@
+#ifndef DIFFODE_BASELINES_NEURAL_CDE_H_
+#define DIFFODE_BASELINES_NEURAL_CDE_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "ode/cubic_spline.h"
+#include "ode/diff_integrator.h"
+#include "tensor/random.h"
+
+namespace diffode::baselines {
+
+// Neural CDE (Kidger et al. 2020): the observations are interpolated with a
+// natural cubic spline into a continuous control path X(t), and the hidden
+// state follows the controlled differential equation
+//   dh/dt = f(h) dX/dt,
+// where f maps the hidden state to a (hidden x channels) matrix. This is
+// exactly the Fig. 1(b) family the paper contrasts DIFFODE against: the
+// path is continuous, but each instant only sees the two nearest
+// observations through the spline.
+class NeuralCdeBaseline : public core::SequenceModel {
+ public:
+  explicit NeuralCdeBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "NCDE"; }
+
+ private:
+  struct Prepared {
+    std::unique_ptr<ode::CubicSpline> path;
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  Prepared Prepare(const data::IrregularSeries& context) const;
+  ag::Var EvolveTo(const Prepared& prep, const ag::Var& h0, Scalar from,
+                   Scalar to) const;
+  ag::Var InitialHidden(const Prepared& prep) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  Index control_channels_;  // f + 1 (time-augmented path)
+  std::unique_ptr<nn::Linear> h0_from_x0_;
+  std::unique_ptr<nn::Mlp> field_;  // h -> h * channels (reshaped)
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_NEURAL_CDE_H_

@@ -1,0 +1,116 @@
+#include "baselines/nrde.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "data/encoding.h"
+
+namespace diffode::baselines {
+
+Tensor NrdeBaseline::LogSignature2(const Tensor& path) {
+  const Index rows = path.rows();
+  const Index c = path.cols();
+  DIFFODE_CHECK_GE(rows, 2);
+  const Index num_areas = c * (c - 1) / 2;
+  Tensor sig(Shape{1, c + num_areas});
+  // Level 1: total increment.
+  for (Index j = 0; j < c; ++j)
+    sig.at(0, j) = path.at(rows - 1, j) - path.at(0, j);
+  // Level 2 antisymmetric part (Lévy area), chained trapezoid form:
+  // A_ij = 1/2 sum_k (x_i^k dx_j^k - x_j^k dx_i^k) with x relative to start.
+  Index slot = c;
+  for (Index i = 0; i < c; ++i) {
+    for (Index j = i + 1; j < c; ++j) {
+      Scalar area = 0.0;
+      for (Index k = 0; k + 1 < rows; ++k) {
+        const Scalar xi = path.at(k, i) - path.at(0, i);
+        const Scalar xj = path.at(k, j) - path.at(0, j);
+        const Scalar dxi = path.at(k + 1, i) - path.at(k, i);
+        const Scalar dxj = path.at(k + 1, j) - path.at(k, j);
+        area += 0.5 * (xi * dxj - xj * dxi);
+      }
+      sig.at(0, slot++) = area;
+    }
+  }
+  return sig;
+}
+
+NrdeBaseline::NrdeBaseline(const BaselineConfig& config)
+    : config_(config), rng_(config.seed) {
+  projection_ = rng_.NormalTensor(
+      Shape{config_.input_dim, kChannels - 1},
+      0.0, 1.0 / std::sqrt(static_cast<Scalar>(config_.input_dim)));
+  const Index sig_dim = kChannels + kChannels * (kChannels - 1) / 2;
+  cde_field_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{config_.hidden_dim + sig_dim, config_.mlp_hidden,
+                         config_.hidden_dim},
+      rng_);
+  cls_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{config_.hidden_dim, config_.mlp_hidden,
+                         config_.num_classes},
+      rng_);
+  reg_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{config_.hidden_dim + 1, config_.mlp_hidden,
+                         config_.input_dim},
+      rng_);
+}
+
+NrdeBaseline::RunResult NrdeBaseline::Run(
+    const data::IrregularSeries& context) const {
+  data::EncoderInputs enc = data::BuildEncoderInputs(context);
+  const Index n = context.length();
+  const Index f = config_.input_dim;
+  // Time-augmented projected path: [t_norm | values * mask @ projection].
+  Tensor path(Shape{n, kChannels});
+  for (Index i = 0; i < n; ++i) {
+    path.at(i, 0) = enc.norm_times[static_cast<std::size_t>(i)];
+    for (Index p = 0; p < kChannels - 1; ++p) {
+      Scalar acc = 0.0;
+      for (Index j = 0; j < f; ++j)
+        acc += context.values.at(i, j) * context.mask.at(i, j) *
+               projection_.at(j, p);
+      path.at(i, 1 + p) = acc;
+    }
+  }
+  ag::Var h = ag::Constant(Tensor(Shape{1, config_.hidden_dim}));
+  for (Index begin = 0; begin + 1 < n; begin += kWindow - 1) {
+    const Index count = std::min<Index>(kWindow, n - begin);
+    if (count < 2) break;
+    Tensor window = path.Rows(begin, count);
+    Tensor sig = LogSignature2(window);
+    const Scalar span = window.at(count - 1, 0) - window.at(0, 0);
+    ag::Var update =
+        cde_field_->Forward(ag::ConcatCols({h, ag::Constant(sig)}));
+    h = ag::Add(h, ag::MulScalar(ag::Tanh(update), std::max(span, 0.05)));
+  }
+  RunResult out;
+  out.state = h;
+  out.t_scale = enc.t_scale;
+  out.t_offset = enc.t_offset;
+  return out;
+}
+
+ag::Var NrdeBaseline::ClassifyLogits(const data::IrregularSeries& context) {
+  return cls_head_->Forward(Run(context).state);
+}
+
+std::vector<ag::Var> NrdeBaseline::PredictAt(
+    const data::IrregularSeries& context, const std::vector<Scalar>& times) {
+  RunResult run = Run(context);
+  std::vector<ag::Var> preds;
+  preds.reserve(times.size());
+  for (Scalar t : times) {
+    ag::Var t_var = ag::Constant(
+        Tensor::Full(Shape{1, 1}, (t - run.t_offset) * run.t_scale));
+    preds.push_back(reg_head_->Forward(ag::ConcatCols({run.state, t_var})));
+  }
+  return preds;
+}
+
+void NrdeBaseline::CollectParams(std::vector<ag::Var>* out) const {
+  cde_field_->CollectParams(out);
+  cls_head_->CollectParams(out);
+  reg_head_->CollectParams(out);
+}
+
+}  // namespace diffode::baselines

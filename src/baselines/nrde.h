@@ -1,0 +1,53 @@
+#ifndef DIFFODE_BASELINES_NRDE_H_
+#define DIFFODE_BASELINES_NRDE_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+#include "nn/mlp.h"
+#include "tensor/random.h"
+
+namespace diffode::baselines {
+
+// NRDE-lite (Morrill et al. 2021): the observation path (time-augmented,
+// projected to a small number of channels) is summarized per window by its
+// depth-2 log-signature — increments plus Lévy areas — which drives a
+// discretized controlled-differential-equation update of the hidden state:
+//   h_{k+1} = h_k + f([h_k, logsig_k]) * |window_k|.
+class NrdeBaseline : public core::SequenceModel {
+ public:
+  explicit NrdeBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "NRDE"; }
+
+  // Depth-2 log-signature of a path segment given as rows x channels:
+  // [increments (c) | Lévy areas (c(c-1)/2)]. Exposed for tests.
+  static Tensor LogSignature2(const Tensor& path);
+
+ private:
+  static constexpr Index kChannels = 4;  // projected path channels (incl. time)
+  static constexpr Index kWindow = 4;    // observations per signature window
+
+  struct RunResult {
+    ag::Var state;
+    Scalar t_scale = 1.0;
+    Scalar t_offset = 0.0;
+  };
+  RunResult Run(const data::IrregularSeries& context) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  Tensor projection_;  // fixed random (f) -> (kChannels - 1) channel mixer
+  std::unique_ptr<nn::Mlp> cde_field_;
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_NRDE_H_

@@ -1,0 +1,89 @@
+#include "baselines/ode_lstm.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+
+namespace diffode::baselines {
+
+OdeLstmBaseline::OdeLstmBaseline(const BaselineConfig& config)
+    : config_(config), rng_(config.seed) {
+  const Index enc_in = 2 * config_.input_dim + 2;
+  cell_ = std::make_unique<nn::LstmCell>(enc_in, config_.hidden_dim, rng_);
+  dynamics_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{config_.hidden_dim, config_.mlp_hidden,
+                         config_.hidden_dim},
+      rng_);
+  cls_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{config_.hidden_dim, config_.mlp_hidden,
+                         config_.num_classes},
+      rng_);
+  reg_head_ = std::make_unique<nn::Mlp>(
+      std::vector<Index>{config_.hidden_dim + 1, config_.mlp_hidden,
+                         config_.input_dim},
+      rng_);
+}
+
+ag::Var OdeLstmBaseline::EvolveH(const ag::Var& h, Scalar from,
+                                 Scalar to) const {
+  if (from == to) return h;
+  ode::DiffOdeFunc f = [this](Scalar, const ag::Var& y) {
+    return ag::Tanh(dynamics_->Forward(y));
+  };
+  ode::DiffSolveOptions options;
+  options.method = ode::DiffMethod::kMidpoint;
+  options.step = config_.step;
+  return ode::IntegrateVar(f, h, from, to, options);
+}
+
+OdeLstmBaseline::Trace OdeLstmBaseline::Process(
+    const data::IrregularSeries& context) const {
+  Trace trace;
+  trace.enc = data::BuildEncoderInputs(context);
+  ag::Var x = ag::Constant(trace.enc.inputs);
+  nn::LstmCell::State state = cell_->InitialState(1);
+  Scalar t_prev = trace.enc.norm_times.front();
+  for (Index i = 0; i < context.length(); ++i) {
+    const Scalar t = trace.enc.norm_times[static_cast<std::size_t>(i)];
+    // Continuous evolution of h only; c carries discrete memory.
+    state.h = EvolveH(state.h, t_prev, t);
+    state = cell_->Forward(ag::SliceRows(x, i, 1), state);
+    trace.states.push_back(state);
+    t_prev = t;
+  }
+  return trace;
+}
+
+ag::Var OdeLstmBaseline::ClassifyLogits(const data::IrregularSeries& context) {
+  Trace trace = Process(context);
+  return cls_head_->Forward(trace.states.back().h);
+}
+
+std::vector<ag::Var> OdeLstmBaseline::PredictAt(
+    const data::IrregularSeries& context, const std::vector<Scalar>& times) {
+  Trace trace = Process(context);
+  const auto& obs_times = trace.enc.norm_times;
+  std::vector<ag::Var> preds;
+  preds.reserve(times.size());
+  for (Scalar t : times) {
+    const Scalar norm_t = trace.enc.Normalize(t);
+    // Evolve h from the nearest preceding observation.
+    Index anchor = 0;
+    for (std::size_t i = 0; i < obs_times.size(); ++i)
+      if (obs_times[i] <= norm_t) anchor = static_cast<Index>(i);
+    ag::Var h = EvolveH(trace.states[static_cast<std::size_t>(anchor)].h,
+                        obs_times[static_cast<std::size_t>(anchor)], norm_t);
+    ag::Var t_var = ag::Constant(Tensor::Full(Shape{1, 1}, norm_t));
+    preds.push_back(reg_head_->Forward(ag::ConcatCols({h, t_var})));
+  }
+  return preds;
+}
+
+void OdeLstmBaseline::CollectParams(std::vector<ag::Var>* out) const {
+  cell_->CollectParams(out);
+  dynamics_->CollectParams(out);
+  cls_head_->CollectParams(out);
+  reg_head_->CollectParams(out);
+}
+
+}  // namespace diffode::baselines

@@ -1,0 +1,48 @@
+#ifndef DIFFODE_BASELINES_ODE_LSTM_H_
+#define DIFFODE_BASELINES_ODE_LSTM_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+#include "data/encoding.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "ode/diff_integrator.h"
+#include "tensor/random.h"
+
+namespace diffode::baselines {
+
+// ODE-LSTM (Lechner & Hasani 2020), cited by the paper's related work: an
+// LSTM whose *output* state h evolves by a learned ODE between
+// observations while the memory cell c jumps only at observations —
+// addressing the vanishing/exploding dynamics of pure ODE-RNNs.
+class OdeLstmBaseline : public core::SequenceModel {
+ public:
+  explicit OdeLstmBaseline(const BaselineConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "ODE-LSTM"; }
+
+ private:
+  struct Trace {
+    std::vector<nn::LstmCell::State> states;  // post-update, per observation
+    data::EncoderInputs enc;
+  };
+  Trace Process(const data::IrregularSeries& context) const;
+  ag::Var EvolveH(const ag::Var& h, Scalar from, Scalar to) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::LstmCell> cell_;
+  std::unique_ptr<nn::Mlp> dynamics_;  // h -> dh/dt between observations
+  std::unique_ptr<nn::Mlp> cls_head_;
+  std::unique_ptr<nn::Mlp> reg_head_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_ODE_LSTM_H_

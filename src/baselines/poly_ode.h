@@ -1,0 +1,78 @@
+#ifndef DIFFODE_BASELINES_POLY_ODE_H_
+#define DIFFODE_BASELINES_POLY_ODE_H_
+
+#include <memory>
+
+#include "baselines/jump_ode_base.h"
+#include "hippo/hippo.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace diffode::baselines {
+
+// PolyODE (Brouwer & Krishnan 2023, "anamnesic neural differential
+// equations"): an ODE-RNN whose state is augmented with an orthogonal-
+// polynomial (LegS) projection of the hidden trajectory, enforcing long-
+// range memory. State layout: [h (hidden_dim) | c (hippo_dim)].
+class PolyOdeBaseline : public JumpOdeBase {
+ public:
+  explicit PolyOdeBaseline(const BaselineConfig& config)
+      : JumpOdeBase(config, config.hidden_dim + config.hippo_dim),
+        hidden_dim_(config.hidden_dim),
+        hippo_dim_(config.hippo_dim) {
+    dynamics_ = std::make_unique<nn::Mlp>(
+        std::vector<Index>{hidden_dim_, config.mlp_hidden, hidden_dim_},
+        rng());
+    memory_in_ = std::make_unique<nn::Linear>(hidden_dim_, 1, rng());
+    cell_ = std::make_unique<nn::GruCell>(2 * config.input_dim + 2,
+                                          hidden_dim_, rng());
+    // LegS scaled so the unrolled explicit solver stays in its stability
+    // region: |lambda_max| * step = (hippo_dim / tau) * step <= 1.
+    const Scalar tau =
+        std::max<Scalar>(static_cast<Scalar>(hippo_dim_) * config.step, 1e-3);
+    a_t_ = hippo::MakeLegsA(hippo_dim_).Transposed() * (1.0 / tau);
+    b_t_ = hippo::MakeLegsB(hippo_dim_).Transposed() * (1.0 / tau);
+  }
+
+  std::string name() const override { return "PolyODE"; }
+
+ protected:
+  ode::DiffOdeFunc ContinuousDynamics() const override {
+    return [this](Scalar, const ag::Var& state) {
+      ag::Var h = ag::SliceCols(state, 0, hidden_dim_);
+      ag::Var c = ag::SliceCols(state, hidden_dim_, hippo_dim_);
+      ag::Var dh = dynamics_->Forward(h);
+      // dc/dt = A c + B (w h): the hidden trajectory streamed into the
+      // polynomial memory.
+      ag::Var dc = ag::Add(ag::MatMul(c, ag::Constant(a_t_)),
+                           ag::MulByScalarVar(ag::Constant(b_t_),
+                                              memory_in_->Forward(h)));
+      return ag::ConcatCols({dh, dc});
+    };
+  }
+
+  ag::Var JumpUpdate(const ag::Var& row, const ag::Var& state) const override {
+    ag::Var h = ag::SliceCols(state, 0, hidden_dim_);
+    ag::Var c = ag::SliceCols(state, hidden_dim_, hippo_dim_);
+    return ag::ConcatCols({cell_->Forward(row, h), c});
+  }
+
+  void CollectOwnParams(std::vector<ag::Var>* out) const override {
+    dynamics_->CollectParams(out);
+    memory_in_->CollectParams(out);
+    cell_->CollectParams(out);
+  }
+
+ private:
+  Index hidden_dim_;
+  Index hippo_dim_;
+  std::unique_ptr<nn::Mlp> dynamics_;
+  std::unique_ptr<nn::Linear> memory_in_;
+  std::unique_ptr<nn::GruCell> cell_;
+  Tensor a_t_;
+  Tensor b_t_;
+};
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_POLY_ODE_H_

@@ -1,0 +1,22 @@
+#ifndef DIFFODE_BASELINES_ZOO_H_
+#define DIFFODE_BASELINES_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_config.h"
+#include "core/sequence_model.h"
+
+namespace diffode::baselines {
+
+// Names accepted by MakeBaseline, in the paper's Table III order.
+std::vector<std::string> BaselineNames();
+
+// Factory for the baseline zoo. Aborts on an unknown name.
+std::unique_ptr<core::SequenceModel> MakeBaseline(const std::string& name,
+                                                  const BaselineConfig& config);
+
+}  // namespace diffode::baselines
+
+#endif  // DIFFODE_BASELINES_ZOO_H_

@@ -1,0 +1,88 @@
+#include "core/dhs.h"
+
+#include <cmath>
+
+#include "autograd/ops_linalg.h"
+
+namespace diffode::core {
+
+DhsContext BuildDhsContext(const ag::Var& z, Scalar ridge) {
+  DhsContext ctx;
+  ctx.z = z;
+  ctx.n = z.rows();
+  ctx.d = z.cols();
+  // (Zᵀ)† = Z (ZᵀZ + ridge I)^{-1}; differentiable through the inverse.
+  ag::Var gram = ag::MatMul(ag::Transpose(z), z);
+  ag::Var gram_inv = ag::RidgeInverse(gram, ridge);
+  ctx.zt_pinv = ag::MatMul(z, gram_inv);
+  // A_p J = 1 - (Zᵀ)† (Zᵀ 1).
+  ag::Var ones_col = ag::Constant(Tensor::Ones(Shape{ctx.n, 1}));
+  ag::Var zt_ones = ag::MatMul(ag::Transpose(z), ones_col);  // d x 1
+  ag::Var proj = ag::MatMul(ctx.zt_pinv, zt_ones);           // n x 1
+  ctx.ap_colsum = ag::Sub(ones_col, proj);
+  ctx.ap_total = ag::Sum(ctx.ap_colsum);
+  return ctx;
+}
+
+ag::Var DhsForward(const DhsContext& ctx, const ag::Var& z_query) {
+  const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(ctx.d));
+  ag::Var logits =
+      ag::MulScalar(ag::MatMul(z_query, ag::Transpose(ctx.z)), scale);
+  return ag::MatMul(ag::Softmax(logits), ctx.z);
+}
+
+ag::Var RecoverPVar(const DhsContext& ctx, const ag::Var& s,
+                    sparsity::PtStrategy strategy, const ag::Var& h_ada) {
+  // b = S (Zᵀ)†ᵀ, 1 x n.
+  ag::Var b = ag::MatMul(s, ag::Transpose(ctx.zt_pinv));
+  switch (strategy) {
+    case sparsity::PtStrategy::kMinNorm:
+      return b;
+    case sparsity::PtStrategy::kAdaH: {
+      DIFFODE_CHECK(h_ada.defined());
+      // p = b + h A_p with A_p = I - (Zᵀ)† Zᵀ (symmetric).
+      ag::Var h_proj = ag::MatMul(ag::MatMul(h_ada, ctx.zt_pinv),
+                                  ag::Transpose(ctx.z));
+      return ag::Add(b, ag::Sub(h_ada, h_proj));
+    }
+    case sparsity::PtStrategy::kExactKkt:
+      // The combinatorial Theorem-1 search is not differentiable; training
+      // uses the relaxed closed form, and the exact solver is exposed on the
+      // plain-tensor path (sparsity::MaxHoyerExactKkt) for analysis.
+      [[fallthrough]];
+    case sparsity::PtStrategy::kMaxHoyer: {
+      // Eq. 32: p = b - (Σb - 1) (A_p J)ᵀ / (J A_p J).
+      if (std::fabs(ctx.ap_total.value().item()) < 1e-10) return b;
+      ag::Var coeff =
+          ag::DivByScalarVar(ag::AddScalar(ag::Sum(b), -1.0), ctx.ap_total);
+      ag::Var corr = ag::MulByScalarVar(ag::Transpose(ctx.ap_colsum), coeff);
+      return ag::Sub(b, corr);
+    }
+  }
+  DIFFODE_CHECK(false);
+  return b;
+}
+
+ag::Var RecoverZVar(const DhsContext& ctx, const ag::Var& p,
+                    const ag::Var& h2) {
+  // a_h = ((h2·p)/(p·p)) p - 1 (rank-one form of Eq. 34).
+  ag::Var pp = ag::Dot(p, p);
+  ag::Var ph = ag::Dot(p, h2);
+  ag::Var c = ag::Div(ph, pp);  // 1 x 1
+  ag::Var ones = ag::Constant(Tensor::Ones(Shape{1, ctx.n}));
+  ag::Var a_h = ag::Sub(ag::MulByScalarVar(p, c), ones);
+  return ag::MulScalar(ag::MatMul(a_h, ctx.zt_pinv),
+                       std::sqrt(static_cast<Scalar>(ctx.d)));
+}
+
+ag::Var DhsDerivative(const DhsContext& ctx, const ag::Var& w,
+                      const ag::Var& p) {
+  const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(ctx.d));
+  ag::Var u = ag::MatMul(w, ag::Transpose(ctx.z));      // 1 x n
+  ag::Var term1 = ag::MatMul(ag::Mul(u, p), ctx.z);     // 1 x d
+  ag::Var up = ag::Dot(u, p);                           // 1 x 1
+  ag::Var term2 = ag::MulByScalarVar(ag::MatMul(p, ctx.z), up);
+  return ag::MulScalar(ag::Sub(term1, term2), scale);
+}
+
+}  // namespace diffode::core

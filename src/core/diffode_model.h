@@ -1,0 +1,107 @@
+#ifndef DIFFODE_CORE_DIFFODE_MODEL_H_
+#define DIFFODE_CORE_DIFFODE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/dhs.h"
+#include "core/sequence_model.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "ode/diff_integrator.h"
+#include "tensor/random.h"
+
+namespace diffode::core {
+
+// The DIFFODE model (paper Secs. III-B to III-D):
+//   encoder ψ  : observations -> latent codes Z (GRU with history, or MLP)
+//   DHS        : S_t = softmax(z_t Zᵀ/√d) Z, with ODE dynamics obtained by
+//                inverting the attention via generalized inverses (Eq. 32/34)
+//   φ          : MLP modelling dz/dt
+//   output     : HiPPO-coupled system (Eq. 36) or a direct readout of S_t
+//
+// The free vectors of the inversion (h₂ of Eq. 34 and h of the adaH
+// ablation) must have the per-sequence length n, so they are produced by
+// tiny trained linear maps applied row-wise to Z — the trained-vector
+// semantics of the paper generalized to variable-length sequences.
+class DiffOde : public SequenceModel {
+ public:
+  explicit DiffOde(const DiffOdeConfig& config);
+
+  ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
+  std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
+                                 const std::vector<Scalar>& times) override;
+  void CollectParams(std::vector<ag::Var>* out) const override;
+  std::string name() const override { return "DIFFODE"; }
+  ag::Var TakeAuxiliaryLoss() override {
+    ag::Var out = aux_loss_;
+    aux_loss_ = ag::Var();
+    return out;
+  }
+
+  const DiffOdeConfig& config() const { return config_; }
+
+  // Integration scheme for the unrolled (training) solver.
+  void set_diff_method(ode::DiffMethod m) { diff_method_ = m; }
+
+  // Attention-weight trajectories p_t at the context observation times, on
+  // the current (trained or untrained) encoder — the data behind Fig. 3.
+  // Returns one 1 x n tensor per observation time (head 0).
+  std::vector<Tensor> AttentionTrajectory(
+      const data::IrregularSeries& context);
+
+  // The latent matrix Z (n x d) for a context, evaluated with the current
+  // weights — used by the Fig. 3 sparsity analysis.
+  Tensor LatentZ(const data::IrregularSeries& context);
+
+ private:
+  struct Encoded {
+    ag::Var z;                         // n x d
+    std::vector<DhsContext> heads;     // per-head inversion contexts
+    ag::Var h2;                        // 1 x n
+    ag::Var h_ada;                     // 1 x n (adaH only)
+    ag::Var z_mean;                    // 1 x d (w/o-attention path)
+    std::vector<Scalar> norm_times;    // observation times, normalized
+    Scalar t_scale = 1.0;              // maps raw time -> normalized
+    Scalar t_offset = 0.0;
+  };
+
+  Encoded Encode(const data::IrregularSeries& context) const;
+  // Augmented initial state [S | c | r] (or [c | r] without attention).
+  ag::Var InitialState(const Encoded& enc) const;
+  // Augmented dynamics closure over the encoded context.
+  ode::DiffOdeFunc Dynamics(const Encoded& enc) const;
+  // Readout input ([S | r], S, or [z̄ | r] depending on config).
+  ag::Var ReadoutInput(const Encoded& enc, const ag::Var& state) const;
+  // States at the given (normalized, may be unsorted) times; integrates
+  // forward and backward from the first observation as needed.
+  std::vector<ag::Var> StatesAt(const Encoded& enc,
+                                const std::vector<Scalar>& norm_times) const;
+
+  Index StateDim() const;
+  Index ReadoutDim() const;
+
+  DiffOdeConfig config_;
+  mutable Rng rng_;
+  ode::DiffMethod diff_method_ = ode::DiffMethod::kMidpoint;
+  mutable ag::Var aux_loss_;  // DHS consistency term from the last forward
+
+  std::unique_ptr<nn::GruCell> gru_encoder_;
+  std::unique_ptr<nn::Mlp> mlp_encoder_;
+  std::unique_ptr<nn::Mlp> phi_;        // (d+1) -> d
+  std::unique_ptr<nn::Linear> h2_head_;    // d -> 1, rows of Z -> h2
+  std::unique_ptr<nn::Linear> h_ada_head_; // d -> 1, rows of Z -> h (adaH)
+  std::unique_ptr<nn::Mlp> f_r_;        // (d + d_c + d_r) -> d_r
+  std::unique_ptr<nn::Linear> w_r_;     // d_r -> 1
+  std::unique_ptr<nn::Linear> r_init_;  // d -> d_r, r_0 from the encoder
+  std::unique_ptr<nn::Mlp> f_out_cls_;  // readout -> num_classes
+  std::unique_ptr<nn::Mlp> f_out_reg_;  // readout -> f
+  Tensor hippo_a_;    // d_c x d_c (LegS, stable)
+  Tensor hippo_b_t_;  // 1 x d_c (Bᵀ)
+};
+
+}  // namespace diffode::core
+
+#endif  // DIFFODE_CORE_DIFFODE_MODEL_H_

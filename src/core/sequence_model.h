@@ -1,0 +1,40 @@
+#ifndef DIFFODE_CORE_SEQUENCE_MODEL_H_
+#define DIFFODE_CORE_SEQUENCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/irregular_series.h"
+#include "nn/module.h"
+
+namespace diffode::core {
+
+// Common interface for DIFFODE and every baseline: classify an irregular
+// series, or predict feature values at arbitrary query times given a
+// conditioning context. The benchmark harness (Tables III-V, Fig. 4-6) is
+// written against this interface so models are interchangeable.
+class SequenceModel : public nn::Module {
+ public:
+  // Logits (1 x num_classes) for the whole series.
+  virtual ag::Var ClassifyLogits(const data::IrregularSeries& context) = 0;
+
+  // Feature predictions (each 1 x f) at the given query times, conditioned
+  // on `context`. Times need not be sorted; implementations handle queries
+  // both inside and beyond the context span (interpolation/extrapolation).
+  virtual std::vector<ag::Var> PredictAt(
+      const data::IrregularSeries& context,
+      const std::vector<Scalar>& times) = 0;
+
+  virtual std::string name() const = 0;
+
+  // Auxiliary training loss produced by the most recent forward pass (e.g.
+  // DIFFODE's DHS-definition consistency term), already weighted. Returns
+  // an undefined Var when the model has none; calling it clears the stored
+  // term so losses are never double-counted.
+  virtual ag::Var TakeAuxiliaryLoss() { return ag::Var(); }
+};
+
+}  // namespace diffode::core
+
+#endif  // DIFFODE_CORE_SEQUENCE_MODEL_H_

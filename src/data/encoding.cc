@@ -1,0 +1,32 @@
+#include "data/encoding.h"
+
+namespace diffode::data {
+
+EncoderInputs BuildEncoderInputs(const IrregularSeries& series, Scalar span) {
+  const Index n = series.length();
+  DIFFODE_CHECK_GE(n, 1);
+  const Index f = series.num_features();
+  EncoderInputs enc;
+  const Scalar t0 = series.times.front();
+  Scalar window = series.times.back() - t0;
+  if (window <= 0.0) window = 1.0;
+  enc.t_scale = span / window;
+  enc.t_offset = t0;
+  enc.inputs = Tensor(Shape{n, 2 * f + 2});
+  enc.norm_times.reserve(static_cast<std::size_t>(n));
+  Scalar prev = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const Scalar t_norm = enc.Normalize(series.times[static_cast<std::size_t>(i)]);
+    enc.norm_times.push_back(t_norm);
+    for (Index j = 0; j < f; ++j) {
+      enc.inputs.at(i, j) = series.values.at(i, j) * series.mask.at(i, j);
+      enc.inputs.at(i, f + j) = series.mask.at(i, j);
+    }
+    enc.inputs.at(i, 2 * f) = t_norm;
+    enc.inputs.at(i, 2 * f + 1) = i == 0 ? 0.0 : t_norm - prev;
+    prev = t_norm;
+  }
+  return enc;
+}
+
+}  // namespace diffode::data

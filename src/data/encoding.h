@@ -1,0 +1,30 @@
+#ifndef DIFFODE_DATA_ENCODING_H_
+#define DIFFODE_DATA_ENCODING_H_
+
+#include <vector>
+
+#include "data/irregular_series.h"
+
+namespace diffode::data {
+
+// Shared observation-to-feature convention used by DIFFODE and every
+// baseline: row i is [x_i * m_i, m_i, t_i, dt_i] with times affinely mapped
+// so the context window spans [0, span]. One convention across models keeps
+// the comparisons in Tables III-V architecture-only.
+struct EncoderInputs {
+  Tensor inputs;                  // n x (2 f + 2)
+  std::vector<Scalar> norm_times; // n, in [0, span]
+  Scalar t_scale = 1.0;           // norm = (raw - t_offset) * t_scale
+  Scalar t_offset = 0.0;
+
+  Scalar Normalize(Scalar raw_time) const {
+    return (raw_time - t_offset) * t_scale;
+  }
+};
+
+EncoderInputs BuildEncoderInputs(const IrregularSeries& series,
+                                 Scalar span = 10.0);
+
+}  // namespace diffode::data
+
+#endif  // DIFFODE_DATA_ENCODING_H_

@@ -1,0 +1,391 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace diffode::data {
+namespace {
+
+constexpr Scalar kPi = 3.14159265358979323846;
+
+// Bernoulli-thins the rows of a series, always keeping at least two points
+// (ODE integration needs a non-degenerate time span).
+IrregularSeries ThinSeries(const IrregularSeries& s, Scalar keep_rate,
+                           Rng& rng) {
+  std::vector<Index> keep;
+  for (Index i = 0; i < s.length(); ++i)
+    if (rng.Bernoulli(keep_rate)) keep.push_back(i);
+  if (static_cast<Index>(keep.size()) < 2) {
+    keep.clear();
+    keep.push_back(0);
+    keep.push_back(s.length() - 1);
+  }
+  IrregularSeries out;
+  out.label = s.label;
+  out.values = Tensor(Shape{static_cast<Index>(keep.size()), s.num_features()});
+  out.mask = Tensor(Shape{static_cast<Index>(keep.size()), s.num_features()});
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    out.times.push_back(s.times[static_cast<std::size_t>(keep[k])]);
+    for (Index j = 0; j < s.num_features(); ++j) {
+      out.values.at(static_cast<Index>(k), j) = s.values.at(keep[k], j);
+      out.mask.at(static_cast<Index>(k), j) = s.mask.at(keep[k], j);
+    }
+  }
+  return out;
+}
+
+// Shuffles and splits into train/val/test by the given fractions.
+void SplitThree(std::vector<IrregularSeries> all, Scalar train_frac,
+                Scalar val_frac, Rng& rng, Dataset* out) {
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  const Index n = static_cast<Index>(all.size());
+  const Index n_train = static_cast<Index>(train_frac * n);
+  const Index n_val = static_cast<Index>(val_frac * n);
+  for (Index i = 0; i < n; ++i) {
+    if (i < n_train) {
+      out->train.push_back(std::move(all[static_cast<std::size_t>(i)]));
+    } else if (i < n_train + n_val) {
+      out->val.push_back(std::move(all[static_cast<std::size_t>(i)]));
+    } else {
+      out->test.push_back(std::move(all[static_cast<std::size_t>(i)]));
+    }
+  }
+}
+
+}  // namespace
+
+Dataset MakeSyntheticPeriodic(const SyntheticPeriodicConfig& config) {
+  Rng rng(config.seed);
+  std::vector<IrregularSeries> all;
+  all.reserve(static_cast<std::size_t>(config.num_series));
+  for (Index i = 0; i < config.num_series; ++i) {
+    const Scalar phi = rng.Normal(0.0, 2.0 * kPi);
+    IrregularSeries dense;
+    dense.values = Tensor(Shape{config.grid_points, 1});
+    dense.mask = Tensor::Ones(Shape{config.grid_points, 1});
+    for (Index k = 0; k < config.grid_points; ++k) {
+      // Dense grid strictly inside (0, 10).
+      const Scalar t = 10.0 * (static_cast<Scalar>(k) + 0.5) /
+                       static_cast<Scalar>(config.grid_points);
+      dense.times.push_back(t);
+      Scalar x = std::sin(t + phi) * std::cos(3.0 * (t + phi));
+      if (config.noise_std > 0.0) x += rng.Normal(0.0, config.noise_std);
+      dense.values.at(k, 0) = x;
+    }
+    const Scalar x5 = std::sin(5.0 + phi) * std::cos(3.0 * (5.0 + phi));
+    dense.label = x5 > 0.5 ? 1 : 0;
+    all.push_back(ThinSeries(dense, config.keep_rate, rng));
+  }
+  Dataset ds;
+  ds.name = "synthetic_periodic";
+  ds.num_features = 1;
+  ds.num_classes = 2;
+  SplitThree(std::move(all), 0.5, 0.25, rng, &ds);
+  return ds;
+}
+
+Tensor IntegrateLorenz63(const Tensor& state, Scalar dt, Index steps) {
+  DIFFODE_CHECK_EQ(state.numel() % 3, 0);
+  const Index copies = state.numel() / 3;
+  auto rhs = [copies](const Tensor& s) {
+    constexpr Scalar kSigma = 10.0, kRho = 28.0, kBeta = 8.0 / 3.0;
+    Tensor d(s.shape());
+    for (Index c = 0; c < copies; ++c) {
+      const Scalar x = s[3 * c], y = s[3 * c + 1], z = s[3 * c + 2];
+      d[3 * c] = kSigma * (y - x);
+      d[3 * c + 1] = x * (kRho - z) - y;
+      d[3 * c + 2] = x * y - kBeta * z;
+    }
+    return d;
+  };
+  Tensor s = state;
+  for (Index k = 0; k < steps; ++k) {
+    Tensor k1 = rhs(s);
+    Tensor k2 = rhs(s + k1 * (dt / 2));
+    Tensor k3 = rhs(s + k2 * (dt / 2));
+    Tensor k4 = rhs(s + k3 * dt);
+    s += (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (dt / 6.0);
+  }
+  return s;
+}
+
+Tensor IntegrateLorenz96(const Tensor& state, Scalar dt, Index steps) {
+  const Index n = state.numel();
+  DIFFODE_CHECK_GE(n, 4);
+  auto rhs = [n](const Tensor& s) {
+    constexpr Scalar kForcing = 8.0;
+    Tensor d(s.shape());
+    for (Index i = 0; i < n; ++i) {
+      const Scalar xm2 = s[(i - 2 + n) % n];
+      const Scalar xm1 = s[(i - 1 + n) % n];
+      const Scalar xp1 = s[(i + 1) % n];
+      d[i] = (xp1 - xm2) * xm1 - s[i] + kForcing;
+    }
+    return d;
+  };
+  Tensor s = state;
+  for (Index k = 0; k < steps; ++k) {
+    Tensor k1 = rhs(s);
+    Tensor k2 = rhs(s + k1 * (dt / 2));
+    Tensor k3 = rhs(s + k2 * (dt / 2));
+    Tensor k4 = rhs(s + k3 * dt);
+    s += (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (dt / 6.0);
+  }
+  return s;
+}
+
+namespace {
+
+// Shared windowing/labelling logic for the two chaotic systems.
+// `step` advances the full state by dt; `trajectory` gathers states.
+Dataset MakeChaotic(const DynamicalSystemConfig& config, const char* name,
+                    bool lorenz96) {
+  Rng rng(config.seed);
+  const Index dim = config.dim;
+  // Initial state near the attractor with small random perturbation.
+  Index state_dim = dim;
+  if (!lorenz96) state_dim = ((dim + 2) / 3) * 3;  // whole Lorenz-63 copies
+  Tensor state(Shape{state_dim});
+  for (Index i = 0; i < state_dim; ++i) state[i] = rng.Normal(0.0, 1.0);
+  // Burn-in onto the attractor.
+  state = lorenz96 ? IntegrateLorenz96(state, config.dt, 500)
+                   : IntegrateLorenz63(state, config.dt, 500);
+  // Record the trajectory.
+  std::vector<Tensor> traj;
+  traj.reserve(static_cast<std::size_t>(config.trajectory_steps));
+  for (Index k = 0; k < config.trajectory_steps; ++k) {
+    state = lorenz96 ? IntegrateLorenz96(state, config.dt, 1)
+                     : IntegrateLorenz63(state, config.dt, 1);
+    traj.push_back(state);
+  }
+  // Cut into windows; the last dimension is hidden (never observed, as in
+  // the paper). The label is a short-horizon forecast: whether the first
+  // state dimension a few steps past the window end exceeds its median —
+  // solvable only by assimilating the window's (thinned) dynamics.
+  const Index obs_dim = dim - 1;
+  const Index lookahead = 5;
+  const Index num_windows =
+      (config.trajectory_steps - lookahead) / config.window;
+  DIFFODE_CHECK_GE(num_windows, 4);
+  std::vector<Scalar> hidden_end(static_cast<std::size_t>(num_windows));
+  std::vector<IrregularSeries> dense(static_cast<std::size_t>(num_windows));
+  for (Index w = 0; w < num_windows; ++w) {
+    IrregularSeries& s = dense[static_cast<std::size_t>(w)];
+    s.values = Tensor(Shape{config.window, obs_dim});
+    s.mask = Tensor::Ones(Shape{config.window, obs_dim});
+    for (Index k = 0; k < config.window; ++k) {
+      s.times.push_back(static_cast<Scalar>(k) * config.dt /
+                        (config.dt * config.window) * 10.0);
+      const Tensor& st = traj[static_cast<std::size_t>(w * config.window + k)];
+      for (Index j = 0; j < obs_dim; ++j) s.values.at(k, j) = st[j];
+    }
+    hidden_end[static_cast<std::size_t>(w)] =
+        traj[static_cast<std::size_t>((w + 1) * config.window - 1 +
+                                      lookahead)][0];
+  }
+  // Label: forecast target above/below the dataset median.
+  std::vector<Scalar> sorted = hidden_end;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const Scalar median = sorted[sorted.size() / 2];
+  std::vector<IrregularSeries> all;
+  for (Index w = 0; w < num_windows; ++w) {
+    dense[static_cast<std::size_t>(w)].label =
+        hidden_end[static_cast<std::size_t>(w)] > median ? 1 : 0;
+    all.push_back(
+        ThinSeries(dense[static_cast<std::size_t>(w)], config.keep_rate, rng));
+  }
+  Dataset ds;
+  ds.name = name;
+  ds.num_features = obs_dim;
+  ds.num_classes = 2;
+  SplitThree(std::move(all), 0.5, 0.25, rng, &ds);
+  return ds;
+}
+
+}  // namespace
+
+Dataset MakeLorenz63(DynamicalSystemConfig config) {
+  if (config.dim <= 0) config.dim = 63;
+  return MakeChaotic(config, "lorenz63", /*lorenz96=*/false);
+}
+
+Dataset MakeLorenz96(DynamicalSystemConfig config) {
+  if (config.dim <= 0) config.dim = 96;
+  return MakeChaotic(config, "lorenz96", /*lorenz96=*/true);
+}
+
+Dataset MakeUshcnLike(const UshcnLikeConfig& config) {
+  Rng rng(config.seed);
+  constexpr Index kChannels = 5;  // precip, snowfall, snow depth, tmin, tmax
+  std::vector<IrregularSeries> all;
+  for (Index s = 0; s < config.num_stations; ++s) {
+    // Station-specific climate parameters.
+    const Scalar base_temp = rng.Normal(12.0, 8.0);      // mean annual temp
+    const Scalar amplitude = rng.Normal(12.0, 3.0);      // seasonal swing
+    const Scalar phase = rng.Uniform(-0.2, 0.2);
+    const Scalar wetness = rng.Uniform(0.1, 0.5);        // precip propensity
+    Scalar snow_depth = 0.0;
+    // Synoptic-scale weather persistence: a multi-day AR(1) temperature
+    // anomaly, so the near future is genuinely predictable from the recent
+    // past (as in real weather), not just from the seasonal cycle.
+    Scalar anomaly = 0.0;
+    IrregularSeries dense;
+    dense.values = Tensor(Shape{config.num_days, kChannels});
+    dense.mask = Tensor(Shape{config.num_days, kChannels});
+    for (Index day = 0; day < config.num_days; ++day) {
+      const Scalar year_pos =
+          2.0 * kPi *
+          (static_cast<Scalar>(day) / 365.25 + phase);
+      const Scalar season = -std::cos(year_pos);  // cold at t=0
+      anomaly = 0.85 * anomaly + rng.Normal(0.0, 1.8);
+      const Scalar tmax =
+          base_temp + amplitude * season + 5.0 + anomaly + rng.Normal(0.0, 1.0);
+      const Scalar tmin = tmax - rng.Uniform(5.0, 12.0);
+      const bool wet = rng.Bernoulli(wetness);
+      const Scalar precip = wet ? rng.Exponential(0.5) : 0.0;
+      const Scalar snowfall = (wet && tmin < 0.0) ? precip : 0.0;
+      snow_depth = std::max(0.0, snow_depth * 0.9 + snowfall -
+                                     std::max(0.0, tmax) * 0.05);
+      dense.times.push_back(static_cast<Scalar>(day));
+      dense.values.at(day, 0) = precip;
+      dense.values.at(day, 1) = snowfall;
+      dense.values.at(day, 2) = snow_depth;
+      dense.values.at(day, 3) = tmin;
+      dense.values.at(day, 4) = tmax;
+      // Sparse per-channel reporting: temperatures are read most days,
+      // snow depth only occasionally (as in the real archive).
+      const Scalar rates[kChannels] = {config.obs_rate, config.obs_rate * 0.6,
+                                       config.obs_rate * 0.4,
+                                       config.obs_rate * 1.4,
+                                       config.obs_rate * 1.4};
+      for (Index c = 0; c < kChannels; ++c)
+        dense.mask.at(day, c) = rng.Bernoulli(std::min(rates[c], 0.95)) ? 1 : 0;
+    }
+    // Paper's preprocessing: remove half the time points, then drop 20% of
+    // the remaining observations.
+    IrregularSeries thinned = ThinSeries(dense, config.keep_time_rate, rng);
+    for (Index i = 0; i < thinned.length(); ++i)
+      for (Index c = 0; c < kChannels; ++c)
+        if (thinned.mask.at(i, c) > 0 && rng.Bernoulli(config.drop_rate))
+          thinned.mask.at(i, c) = 0;
+    all.push_back(std::move(thinned));
+  }
+  Dataset ds;
+  ds.name = "ushcn_like";
+  ds.num_features = kChannels;
+  ds.num_classes = 0;
+  SplitThree(std::move(all), 0.6, 0.2, rng, &ds);
+  return ds;
+}
+
+Dataset MakePhysioNetLike(const PhysioNetLikeConfig& config) {
+  Rng rng(config.seed);
+  const Index f = config.num_channels;
+  // Channel archetypes: baseline level, sensitivity to the latent severity
+  // process, noise scale and observation rate.
+  std::vector<Scalar> base(static_cast<std::size_t>(f)),
+      sens(static_cast<std::size_t>(f)), noise(static_cast<std::size_t>(f)),
+      rate(static_cast<std::size_t>(f));
+  for (Index c = 0; c < f; ++c) {
+    base[static_cast<std::size_t>(c)] = rng.Normal(0.0, 1.0);
+    sens[static_cast<std::size_t>(c)] = rng.Normal(0.0, 0.8);
+    noise[static_cast<std::size_t>(c)] = rng.Uniform(0.05, 0.3);
+    // Vitals are measured often, labs rarely.
+    rate[static_cast<std::size_t>(c)] = c < f / 4 ? 0.8 : rng.Uniform(0.05, 0.4);
+  }
+  std::vector<IrregularSeries> all;
+  for (Index p = 0; p < config.num_patients; ++p) {
+    // Latent severity: Ornstein-Uhlenbeck with patient-specific drift.
+    const Scalar drift = rng.Normal(0.0, 0.3);
+    Scalar sev = rng.Normal(0.0, 1.0);
+    // Observation times: rounded to tick_hours, sorted, deduplicated.
+    std::vector<Scalar> times;
+    for (Index k = 0; k < config.max_obs_per_patient; ++k) {
+      Scalar t = rng.Uniform(0.0, config.horizon_hours);
+      t = std::round(t / config.tick_hours) * config.tick_hours;
+      times.push_back(t);
+    }
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    if (times.size() < 2) {
+      times = {0.0, config.horizon_hours};
+    }
+    const Index n = static_cast<Index>(times.size());
+    IrregularSeries s;
+    s.times = times;
+    s.values = Tensor(Shape{n, f});
+    s.mask = Tensor(Shape{n, f});
+    Scalar prev_t = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const Scalar dt = times[static_cast<std::size_t>(i)] - prev_t;
+      prev_t = times[static_cast<std::size_t>(i)];
+      // OU step: mean-revert to drift with rate 0.05/h.
+      const Scalar a = std::exp(-0.05 * dt);
+      sev = a * sev + (1.0 - a) * drift +
+            rng.Normal(0.0, 0.2 * std::sqrt(std::max(dt, 1e-6)));
+      bool any = false;
+      for (Index c = 0; c < f; ++c) {
+        if (rng.Bernoulli(rate[static_cast<std::size_t>(c)])) {
+          s.mask.at(i, c) = 1.0;
+          any = true;
+        }
+        s.values.at(i, c) =
+            base[static_cast<std::size_t>(c)] +
+            sens[static_cast<std::size_t>(c)] * sev +
+            0.3 * std::sin(2.0 * kPi * prev_t / 24.0) +  // circadian
+            rng.Normal(0.0, noise[static_cast<std::size_t>(c)]);
+      }
+      if (!any) s.mask.at(i, 0) = 1.0;  // every row reports something
+    }
+    all.push_back(std::move(s));
+  }
+  Dataset ds;
+  ds.name = "physionet_like";
+  ds.num_features = f;
+  ds.num_classes = 0;
+  SplitThree(std::move(all), 0.6, 0.2, rng, &ds);
+  return ds;
+}
+
+Dataset MakeLargeStLike(const LargeStLikeConfig& config) {
+  Rng rng(config.seed);
+  std::vector<IrregularSeries> all;
+  for (Index sensor = 0; sensor < config.num_sensors; ++sensor) {
+    const Scalar base_flow = rng.Uniform(200.0, 800.0);
+    const Scalar am_peak = rng.Uniform(0.5, 1.5);
+    const Scalar pm_peak = rng.Uniform(0.5, 1.5);
+    IrregularSeries dense;
+    dense.values = Tensor(Shape{config.hours_per_sensor, 1});
+    dense.mask = Tensor::Ones(Shape{config.hours_per_sensor, 1});
+    for (Index h = 0; h < config.hours_per_sensor; ++h) {
+      const Scalar hour_of_day = static_cast<Scalar>(h % 24);
+      const Index day_of_week = (h / 24) % 7;
+      const bool weekend = day_of_week >= 5;
+      // Twin gaussian rush-hour bumps at 8:00 and 18:00.
+      auto bump = [](Scalar x, Scalar mu, Scalar sigma) {
+        const Scalar z = (x - mu) / sigma;
+        return std::exp(-0.5 * z * z);
+      };
+      Scalar flow = base_flow *
+                    (0.4 + am_peak * bump(hour_of_day, 8.0, 2.0) +
+                     pm_peak * bump(hour_of_day, 18.0, 2.5));
+      if (weekend) flow *= 0.6;
+      // Occasional congestion collapse.
+      if (rng.Bernoulli(0.02)) flow *= rng.Uniform(0.2, 0.6);
+      flow += rng.Normal(0.0, base_flow * 0.05);
+      dense.times.push_back(static_cast<Scalar>(h));
+      dense.values.at(h, 0) = std::max(flow, 0.0);
+    }
+    all.push_back(ThinSeries(dense, config.keep_rate, rng));
+  }
+  Dataset ds;
+  ds.name = "largest_like";
+  ds.num_features = 1;
+  ds.num_classes = 0;
+  SplitThree(std::move(all), 0.6, 0.2, rng, &ds);
+  return ds;
+}
+
+}  // namespace diffode::data

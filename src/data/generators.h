@@ -1,0 +1,104 @@
+#ifndef DIFFODE_DATA_GENERATORS_H_
+#define DIFFODE_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/irregular_series.h"
+#include "tensor/random.h"
+
+namespace diffode::data {
+
+// ---------------------------------------------------------------------------
+// Synthetic periodic classification dataset (paper Sec. IV-A):
+// x(t) = sin(t + phi) * cos(3 (t + phi)), t in (0, 10), phi ~ N(0, 2*pi),
+// label y = 1[x(5) > 0.5], observations kept by a Bernoulli(keep_rate)
+// thinning of a dense grid (the paper's "Poisson process with rate 70%").
+// Split 50/25/25.
+// ---------------------------------------------------------------------------
+struct SyntheticPeriodicConfig {
+  Index num_series = 1000;
+  Index grid_points = 50;  // dense grid over (0, 10) before thinning
+  Scalar keep_rate = 0.7;
+  Scalar noise_std = 0.0;
+  std::uint64_t seed = 1;
+};
+Dataset MakeSyntheticPeriodic(const SyntheticPeriodicConfig& config);
+
+// ---------------------------------------------------------------------------
+// Chaotic dynamical systems (Lorenz63 / Lorenz96). A long trajectory is
+// integrated with RK4, the last state dimension is dropped (never fully
+// observed, as in the paper), the trajectory is cut into fixed-length
+// windows, each window is Poisson-thinned, and the window is labelled by
+// whether the *hidden* dimension at the window end exceeds its median — so
+// the classifier must infer the unobserved dynamics.
+// ---------------------------------------------------------------------------
+struct DynamicalSystemConfig {
+  // "lorenz63": dim copies of the 3-variable Lorenz-63 attractor coupled to
+  // reach `dim` total states; "lorenz96": the dim-variable Lorenz-96 ring.
+  Index dim = 96;
+  Index trajectory_steps = 1000;
+  Scalar dt = 0.02;
+  Index window = 40;
+  Scalar keep_rate = 0.3;
+  std::uint64_t seed = 2;
+};
+Dataset MakeLorenz63(DynamicalSystemConfig config);
+Dataset MakeLorenz96(DynamicalSystemConfig config);
+
+// Raw integrators, exposed for tests and examples.
+// Lorenz-63: dx = sigma(y-x), dy = x(rho-z)-y, dz = xy - beta z.
+Tensor IntegrateLorenz63(const Tensor& state, Scalar dt, Index steps);
+// Lorenz-96 ring of `dim` variables with forcing F = 8.
+Tensor IntegrateLorenz96(const Tensor& state, Scalar dt, Index steps);
+
+// ---------------------------------------------------------------------------
+// USHCN-like climate interpolation dataset. Each series is a weather
+// station with 5 correlated variables (precipitation, snowfall, snow depth,
+// min/max temperature) driven by an annual cycle plus station-specific
+// offsets and weather noise. Observations are sparse per channel; then half
+// of the time points are removed and `drop_rate` of the remaining
+// observations are dropped, as in the paper. Split 60/20/20.
+// ---------------------------------------------------------------------------
+struct UshcnLikeConfig {
+  Index num_stations = 64;
+  Index num_days = 160;       // paper: 4 years of daily data
+  Scalar obs_rate = 0.5;      // per-channel base observation probability
+  Scalar drop_rate = 0.2;     // paper's extra 20% random removal
+  Scalar keep_time_rate = 0.5;  // paper removes half the time points
+  std::uint64_t seed = 3;
+};
+Dataset MakeUshcnLike(const UshcnLikeConfig& config);
+
+// ---------------------------------------------------------------------------
+// PhysioNet-2012-like ICU dataset: `num_patients` patients, `num_channels`
+// vitals/labs with very different observation rates, over a 48-hour stay
+// rounded to 6-minute ticks. A slow latent "severity" process drives
+// correlated drift in the channels. Split 60/20/20.
+// ---------------------------------------------------------------------------
+struct PhysioNetLikeConfig {
+  Index num_patients = 100;
+  Index num_channels = 37;
+  Scalar horizon_hours = 48.0;
+  Scalar tick_hours = 0.1;  // 6 minutes
+  Index max_obs_per_patient = 60;
+  std::uint64_t seed = 4;
+};
+Dataset MakePhysioNetLike(const PhysioNetLikeConfig& config);
+
+// ---------------------------------------------------------------------------
+// LargeST-like traffic dataset: univariate hourly flow with daily and
+// weekly periodicity, rush-hour peaks, random congestion events, cut into
+// windows per sensor, with half the points randomly masked out as in the
+// paper. Split 60/20/20.
+// ---------------------------------------------------------------------------
+struct LargeStLikeConfig {
+  Index num_sensors = 60;
+  Index hours_per_sensor = 24 * 14;  // two weeks per window
+  Scalar keep_rate = 0.5;
+  std::uint64_t seed = 5;
+};
+Dataset MakeLargeStLike(const LargeStLikeConfig& config);
+
+}  // namespace diffode::data
+
+#endif  // DIFFODE_DATA_GENERATORS_H_

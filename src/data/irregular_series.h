@@ -1,0 +1,54 @@
+#ifndef DIFFODE_DATA_IRREGULAR_SERIES_H_
+#define DIFFODE_DATA_IRREGULAR_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::data {
+
+// One irregularly sampled multivariate time series.
+//
+// `times` holds the n observation time points (strictly increasing);
+// `values` is n x f with the observed values; `mask` is n x f with 1 where
+// the entry was actually observed (sparse datasets like the climate sim have
+// rows where only some channels report). Classification samples carry a
+// label; regression tasks ignore it.
+struct IrregularSeries {
+  std::vector<Scalar> times;
+  Tensor values;  // n x f
+  Tensor mask;    // n x f, 0/1
+  Index label = -1;
+
+  Index length() const { return static_cast<Index>(times.size()); }
+  Index num_features() const { return values.cols(); }
+
+  // Sub-series of observation indices [begin, begin+count).
+  IrregularSeries Slice(Index begin, Index count) const {
+    IrregularSeries out;
+    out.times.assign(times.begin() + begin, times.begin() + begin + count);
+    out.values = values.Rows(begin, count);
+    out.mask = mask.Rows(begin, count);
+    out.label = label;
+    return out;
+  }
+};
+
+// A task-ready dataset with fixed splits.
+struct Dataset {
+  std::string name;
+  std::vector<IrregularSeries> train;
+  std::vector<IrregularSeries> val;
+  std::vector<IrregularSeries> test;
+  Index num_features = 0;
+  Index num_classes = 0;  // 0 for regression tasks
+
+  Index TotalSeries() const {
+    return static_cast<Index>(train.size() + val.size() + test.size());
+  }
+};
+
+}  // namespace diffode::data
+
+#endif  // DIFFODE_DATA_IRREGULAR_SERIES_H_

@@ -1,0 +1,134 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace diffode::data {
+
+FeatureStats ComputeStats(const std::vector<IrregularSeries>& series) {
+  DIFFODE_CHECK(!series.empty());
+  const Index f = series[0].num_features();
+  Tensor sum(Shape{1, f});
+  Tensor sum_sq(Shape{1, f});
+  Tensor count(Shape{1, f});
+  for (const auto& s : series) {
+    for (Index i = 0; i < s.length(); ++i) {
+      for (Index j = 0; j < f; ++j) {
+        if (s.mask.at(i, j) > 0) {
+          const Scalar v = s.values.at(i, j);
+          sum.at(0, j) += v;
+          sum_sq.at(0, j) += v * v;
+          count.at(0, j) += 1.0;
+        }
+      }
+    }
+  }
+  FeatureStats stats;
+  stats.mean = Tensor(Shape{1, f});
+  stats.std = Tensor(Shape{1, f});
+  for (Index j = 0; j < f; ++j) {
+    const Scalar n = std::max(count.at(0, j), 1.0);
+    const Scalar mean = sum.at(0, j) / n;
+    const Scalar var = std::max(sum_sq.at(0, j) / n - mean * mean, 0.0);
+    stats.mean.at(0, j) = mean;
+    stats.std.at(0, j) = std::max(std::sqrt(var), 1e-6);
+  }
+  return stats;
+}
+
+namespace {
+
+void ApplyStats(const FeatureStats& stats, std::vector<IrregularSeries>* split) {
+  for (auto& s : *split) {
+    for (Index i = 0; i < s.length(); ++i)
+      for (Index j = 0; j < s.num_features(); ++j)
+        s.values.at(i, j) =
+            (s.values.at(i, j) - stats.mean.at(0, j)) / stats.std.at(0, j);
+  }
+}
+
+}  // namespace
+
+FeatureStats NormalizeDataset(Dataset* ds) {
+  FeatureStats stats = ComputeStats(ds->train);
+  ApplyStats(stats, &ds->train);
+  ApplyStats(stats, &ds->val);
+  ApplyStats(stats, &ds->test);
+  return stats;
+}
+
+IrregularSeries DropEmptyRows(const IrregularSeries& s) {
+  std::vector<Index> keep;
+  for (Index i = 0; i < s.length(); ++i) {
+    bool any = false;
+    for (Index j = 0; j < s.num_features(); ++j)
+      if (s.mask.at(i, j) > 0) any = true;
+    if (any) keep.push_back(i);
+  }
+  if (static_cast<Index>(keep.size()) < 2) {
+    keep.clear();
+    keep.push_back(0);
+    if (s.length() > 1) keep.push_back(s.length() - 1);
+  }
+  IrregularSeries out;
+  out.label = s.label;
+  const Index f = s.num_features();
+  out.values = Tensor(Shape{static_cast<Index>(keep.size()), f});
+  out.mask = Tensor(Shape{static_cast<Index>(keep.size()), f});
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    out.times.push_back(s.times[static_cast<std::size_t>(keep[k])]);
+    for (Index j = 0; j < f; ++j) {
+      out.values.at(static_cast<Index>(k), j) = s.values.at(keep[k], j);
+      out.mask.at(static_cast<Index>(k), j) = s.mask.at(keep[k], j);
+    }
+  }
+  return out;
+}
+
+TaskView MakeInterpolationView(const IrregularSeries& s, Scalar target_frac,
+                               Rng& rng) {
+  TaskView view;
+  view.context = s;
+  view.target = s;
+  view.target.mask = Tensor(s.mask.shape());  // start empty
+  // Move a random fraction of observed entries from context to target.
+  for (Index i = 0; i < s.length(); ++i) {
+    for (Index j = 0; j < s.num_features(); ++j) {
+      if (s.mask.at(i, j) > 0 && rng.Bernoulli(target_frac)) {
+        view.context.mask.at(i, j) = 0;
+        view.target.mask.at(i, j) = 1;
+      }
+    }
+  }
+  view.context = DropEmptyRows(view.context);
+  return view;
+}
+
+TaskView MakeExtrapolationView(const IrregularSeries& s) {
+  TaskView view;
+  const Scalar t0 = s.times.front();
+  const Scalar t1 = s.times.back();
+  const Scalar mid = 0.5 * (t0 + t1);
+  view.context = s;
+  view.target = s;
+  view.target.mask = Tensor(s.mask.shape());
+  for (Index i = 0; i < s.length(); ++i) {
+    const bool first_half = s.times[static_cast<std::size_t>(i)] <= mid;
+    for (Index j = 0; j < s.num_features(); ++j) {
+      if (s.mask.at(i, j) > 0) {
+        if (first_half) {
+          // stays in context
+        } else {
+          view.context.mask.at(i, j) = 0;
+          view.target.mask.at(i, j) = 1;
+        }
+      }
+    }
+  }
+  view.context = DropEmptyRows(view.context);
+  return view;
+}
+
+}  // namespace diffode::data

@@ -1,0 +1,43 @@
+#ifndef DIFFODE_DATA_SPLITS_H_
+#define DIFFODE_DATA_SPLITS_H_
+
+#include "data/irregular_series.h"
+#include "tensor/random.h"
+
+namespace diffode::data {
+
+// Per-feature first/second moments over observed (masked) entries.
+struct FeatureStats {
+  Tensor mean;  // 1 x f
+  Tensor std;   // 1 x f, floored at 1e-6
+};
+
+FeatureStats ComputeStats(const std::vector<IrregularSeries>& series);
+
+// Z-scores every split in place with statistics from the train split.
+// Returns the stats so predictions can be mapped back.
+FeatureStats NormalizeDataset(Dataset* ds);
+
+// A supervised view for reconstruction tasks: `context` is what the model
+// conditions on, `target` is the same series with `target.mask` marking the
+// entries to predict (entries present in context are excluded).
+struct TaskView {
+  IrregularSeries context;
+  IrregularSeries target;
+};
+
+// Interpolation: moves `target_frac` of the observed entries out of the
+// context into the target at random.
+TaskView MakeInterpolationView(const IrregularSeries& s, Scalar target_frac,
+                               Rng& rng);
+
+// Extrapolation: context is the first half of the time span; the target is
+// every observation in the second half.
+TaskView MakeExtrapolationView(const IrregularSeries& s);
+
+// Drops series rows whose mask is all-zero (keeps at least two rows).
+IrregularSeries DropEmptyRows(const IrregularSeries& s);
+
+}  // namespace diffode::data
+
+#endif  // DIFFODE_DATA_SPLITS_H_

@@ -1,0 +1,59 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace diffode::linalg {
+
+Tensor Cholesky(const Tensor& a) {
+  const Index n = a.rows();
+  DIFFODE_CHECK_EQ(a.cols(), n);
+  Tensor l(Shape{n, n});
+  for (Index j = 0; j < n; ++j) {
+    Scalar d = a.at(j, j);
+    for (Index k = 0; k < j; ++k) d -= l.at(j, k) * l.at(j, k);
+    DIFFODE_CHECK_MSG(d > 0.0, "matrix not positive definite");
+    const Scalar ljj = std::sqrt(d);
+    l.at(j, j) = ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      Scalar s = a.at(i, j);
+      for (Index k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      l.at(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+Tensor CholeskySolve(const Tensor& l, const Tensor& b) {
+  const Index n = l.rows();
+  DIFFODE_CHECK_EQ(b.rows(), n);
+  const Index m = b.cols();
+  // Forward substitution: L y = b.
+  Tensor y = b;
+  for (Index c = 0; c < m; ++c) {
+    for (Index i = 0; i < n; ++i) {
+      Scalar s = y.at(i, c);
+      for (Index k = 0; k < i; ++k) s -= l.at(i, k) * y.at(k, c);
+      y.at(i, c) = s / l.at(i, i);
+    }
+  }
+  // Back substitution: Lᵀ x = y.
+  Tensor x = y;
+  for (Index c = 0; c < m; ++c) {
+    for (Index i = n - 1; i >= 0; --i) {
+      Scalar s = x.at(i, c);
+      for (Index k = i + 1; k < n; ++k) s -= l.at(k, i) * x.at(k, c);
+      x.at(i, c) = s / l.at(i, i);
+    }
+  }
+  return x;
+}
+
+Tensor SolveSpd(const Tensor& a, const Tensor& b, Scalar ridge) {
+  Tensor reg = a;
+  if (ridge > 0.0) {
+    for (Index i = 0; i < reg.rows(); ++i) reg.at(i, i) += ridge;
+  }
+  return CholeskySolve(Cholesky(reg), b);
+}
+
+}  // namespace diffode::linalg

@@ -1,0 +1,23 @@
+#ifndef DIFFODE_LINALG_CHOLESKY_H_
+#define DIFFODE_LINALG_CHOLESKY_H_
+
+#include "tensor/tensor.h"
+
+namespace diffode::linalg {
+
+// Cholesky factorization A = L Lᵀ of a symmetric positive-definite matrix.
+// Returns the lower-triangular factor L. Aborts if A is not (numerically)
+// positive definite; callers needing robustness should add ridge
+// regularization first (see SolveSpd).
+Tensor Cholesky(const Tensor& a);
+
+// Solves A x = b for symmetric positive-definite A via Cholesky.
+// b may have multiple columns.
+Tensor CholeskySolve(const Tensor& l, const Tensor& b);
+
+// Solves (A + ridge*I) x = b for symmetric positive-semidefinite A.
+Tensor SolveSpd(const Tensor& a, const Tensor& b, Scalar ridge = 0.0);
+
+}  // namespace diffode::linalg
+
+#endif  // DIFFODE_LINALG_CHOLESKY_H_

@@ -1,0 +1,238 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diffode::linalg {
+namespace {
+
+// Reduces a to upper Hessenberg form in place with Householder reflections.
+void HessenbergReduce(Tensor* a) {
+  const Index n = a->rows();
+  for (Index k = 0; k < n - 2; ++k) {
+    Scalar norm = 0.0;
+    for (Index i = k + 1; i < n; ++i) norm += a->at(i, k) * a->at(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) continue;
+    std::vector<Scalar> v(static_cast<std::size_t>(n - k - 1));
+    for (Index i = k + 1; i < n; ++i)
+      v[static_cast<std::size_t>(i - k - 1)] = a->at(i, k);
+    const Scalar alpha = v[0] >= 0 ? -norm : norm;
+    v[0] -= alpha;
+    Scalar vnorm = 0.0;
+    for (Scalar x : v) vnorm += x * x;
+    vnorm = std::sqrt(vnorm);
+    if (vnorm < 1e-300) continue;
+    for (Scalar& x : v) x /= vnorm;
+    // A <- H A H with H = I - 2 v vᵀ on the trailing block.
+    for (Index j = 0; j < n; ++j) {  // left multiply rows k+1..n-1
+      Scalar dot = 0.0;
+      for (Index i = k + 1; i < n; ++i)
+        dot += v[static_cast<std::size_t>(i - k - 1)] * a->at(i, j);
+      for (Index i = k + 1; i < n; ++i)
+        a->at(i, j) -= 2.0 * dot * v[static_cast<std::size_t>(i - k - 1)];
+    }
+    for (Index i = 0; i < n; ++i) {  // right multiply columns k+1..n-1
+      Scalar dot = 0.0;
+      for (Index j = k + 1; j < n; ++j)
+        dot += a->at(i, j) * v[static_cast<std::size_t>(j - k - 1)];
+      for (Index j = k + 1; j < n; ++j)
+        a->at(i, j) -= 2.0 * dot * v[static_cast<std::size_t>(j - k - 1)];
+    }
+  }
+}
+
+// Extracts the eigenvalues of the trailing 2x2 block [a b; c d].
+void TwoByTwoEigen(Scalar a, Scalar b, Scalar c, Scalar d,
+                   std::complex<Scalar>* l1, std::complex<Scalar>* l2) {
+  const Scalar tr = a + d;
+  const Scalar det = a * d - b * c;
+  const Scalar disc = tr * tr / 4.0 - det;
+  if (disc >= 0.0) {
+    const Scalar root = std::sqrt(disc);
+    *l1 = tr / 2.0 + root;
+    *l2 = tr / 2.0 - root;
+  } else {
+    const Scalar imag = std::sqrt(-disc);
+    *l1 = {tr / 2.0, imag};
+    *l2 = {tr / 2.0, -imag};
+  }
+}
+
+}  // namespace
+
+std::vector<std::complex<Scalar>> Eigenvalues(const Tensor& a,
+                                              int max_iterations) {
+  const Index n = a.rows();
+  DIFFODE_CHECK_EQ(a.cols(), n);
+  std::vector<std::complex<Scalar>> out;
+  if (n == 0) return out;
+  if (n == 1) return {a.at(0, 0)};
+  Tensor h = a;
+  HessenbergReduce(&h);
+  // Shifted QR with deflation (Wilkinson shift via trailing 2x2).
+  Index hi = n - 1;
+  int iter = 0;
+  const Scalar kEps = 1e-12;
+  while (hi > 0 && iter < max_iterations * n) {
+    ++iter;
+    // Deflate: zero sub-diagonal entries that are negligible.
+    Index lo = hi;
+    while (lo > 0 &&
+           std::fabs(h.at(lo, lo - 1)) >
+               kEps * (std::fabs(h.at(lo - 1, lo - 1)) +
+                       std::fabs(h.at(lo, lo))))
+      --lo;
+    if (lo == hi) {
+      out.push_back(h.at(hi, hi));
+      --hi;
+      continue;
+    }
+    if (lo == hi - 1) {
+      std::complex<Scalar> l1, l2;
+      TwoByTwoEigen(h.at(hi - 1, hi - 1), h.at(hi - 1, hi), h.at(hi, hi - 1),
+                    h.at(hi, hi), &l1, &l2);
+      // Accept the 2x2 block if it is (numerically) irreducible.
+      out.push_back(l1);
+      out.push_back(l2);
+      hi -= 2;
+      if (hi == 0) {
+        out.push_back(h.at(0, 0));
+        hi = -1;
+        break;
+      }
+      continue;
+    }
+    // One explicit single-shift QR sweep on the active block [lo, hi]:
+    //   B - sigma I = Q R,   B <- R Q + sigma I,
+    // a similarity on the (deflation-isolated) block, so its eigenvalues
+    // are preserved. The shift is the trailing-2x2 eigenvalue closest to
+    // the bottom-right entry (Wilkinson's choice, real part when complex).
+    std::complex<Scalar> l1, l2;
+    TwoByTwoEigen(h.at(hi - 1, hi - 1), h.at(hi - 1, hi), h.at(hi, hi - 1),
+                  h.at(hi, hi), &l1, &l2);
+    const Scalar target = h.at(hi, hi);
+    Scalar shift = std::fabs(l1.real() - target) <
+                           std::fabs(l2.real() - target)
+                       ? l1.real()
+                       : l2.real();
+    // Exceptional shift (EISPACK-style) to break rare stalls of the real
+    // single shift on complex clusters.
+    if (iter % 13 == 0) {
+      shift = std::fabs(h.at(hi, hi - 1)) +
+              (hi >= 2 ? std::fabs(h.at(hi - 1, hi - 2)) : 0.0);
+    }
+    const Index m = hi - lo + 1;
+    // B = block - shift I (dense copy; blocks are small after deflation).
+    Tensor b(Shape{m, m});
+    for (Index r = 0; r < m; ++r)
+      for (Index c = 0; c < m; ++c)
+        b.at(r, c) = h.at(lo + r, lo + c) - (r == c ? shift : 0.0);
+    // QR of the Hessenberg block with Givens rotations on the subdiagonal.
+    std::vector<std::pair<Scalar, Scalar>> rotations;
+    rotations.reserve(static_cast<std::size_t>(m - 1));
+    for (Index i = 0; i < m - 1; ++i) {
+      const Scalar x = b.at(i, i);
+      const Scalar y = b.at(i + 1, i);
+      const Scalar r = std::hypot(x, y);
+      const Scalar cs = r > 1e-300 ? x / r : 1.0;
+      const Scalar sn = r > 1e-300 ? y / r : 0.0;
+      rotations.emplace_back(cs, sn);
+      for (Index j = i; j < m; ++j) {  // Gᵀ from the left
+        const Scalar b1 = b.at(i, j);
+        const Scalar b2 = b.at(i + 1, j);
+        b.at(i, j) = cs * b1 + sn * b2;
+        b.at(i + 1, j) = -sn * b1 + cs * b2;
+      }
+    }
+    // B <- R Q (apply the rotations from the right) + shift I.
+    for (Index i = 0; i < m - 1; ++i) {
+      const auto [cs, sn] = rotations[static_cast<std::size_t>(i)];
+      for (Index r = 0; r <= std::min<Index>(i + 1, m - 1); ++r) {
+        const Scalar c1 = b.at(r, i);
+        const Scalar c2 = b.at(r, i + 1);
+        b.at(r, i) = cs * c1 + sn * c2;
+        b.at(r, i + 1) = -sn * c1 + cs * c2;
+      }
+    }
+    for (Index r = 0; r < m; ++r) {
+      for (Index c = 0; c < m; ++c)
+        h.at(lo + r, lo + c) = b.at(r, c) + (r == c ? shift : 0.0);
+    }
+  }
+  if (hi == 0) out.push_back(h.at(0, 0));
+  return out;
+}
+
+Scalar SpectralRadius(const Tensor& a) {
+  Scalar radius = 0.0;
+  for (const auto& l : Eigenvalues(a)) radius = std::max(radius, std::abs(l));
+  return radius;
+}
+
+Scalar SpectralAbscissa(const Tensor& a) {
+  Scalar abscissa = -1e300;
+  for (const auto& l : Eigenvalues(a))
+    abscissa = std::max(abscissa, l.real());
+  return abscissa;
+}
+
+SymmetricEigen EigenSym(const Tensor& a) {
+  const Index n = a.rows();
+  DIFFODE_CHECK_EQ(a.cols(), n);
+  DIFFODE_CHECK_MSG((a - a.Transposed()).MaxAbs() < 1e-8 * (1.0 + a.MaxAbs()),
+                    "EigenSym needs a symmetric matrix");
+  Tensor d = a;
+  Tensor v = Tensor::Eye(n);
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    Scalar off = 0.0;
+    for (Index p = 0; p < n; ++p)
+      for (Index q = p + 1; q < n; ++q) off += d.at(p, q) * d.at(p, q);
+    if (off < 1e-24) break;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        if (std::fabs(d.at(p, q)) < 1e-300) continue;
+        const Scalar theta = (d.at(q, q) - d.at(p, p)) / (2.0 * d.at(p, q));
+        const Scalar t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        const Scalar c = 1.0 / std::sqrt(1.0 + t * t);
+        const Scalar s = c * t;
+        for (Index i = 0; i < n; ++i) {
+          const Scalar dip = d.at(i, p);
+          const Scalar diq = d.at(i, q);
+          d.at(i, p) = c * dip - s * diq;
+          d.at(i, q) = s * dip + c * diq;
+        }
+        for (Index i = 0; i < n; ++i) {
+          const Scalar dpi = d.at(p, i);
+          const Scalar dqi = d.at(q, i);
+          d.at(p, i) = c * dpi - s * dqi;
+          d.at(q, i) = s * dpi + c * dqi;
+        }
+        for (Index i = 0; i < n; ++i) {
+          const Scalar vip = v.at(i, p);
+          const Scalar viq = v.at(i, q);
+          v.at(i, p) = c * vip - s * viq;
+          v.at(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  // Sort ascending.
+  std::vector<Index> idx(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](Index x, Index y) { return d.at(x, x) < d.at(y, y); });
+  SymmetricEigen out;
+  out.eigenvalues = Tensor(Shape{n});
+  out.eigenvectors = Tensor(Shape{n, n});
+  for (Index j = 0; j < n; ++j) {
+    const Index src = idx[static_cast<std::size_t>(j)];
+    out.eigenvalues[j] = d.at(src, src);
+    for (Index i = 0; i < n; ++i) out.eigenvectors.at(i, j) = v.at(i, src);
+  }
+  return out;
+}
+
+}  // namespace diffode::linalg

@@ -1,0 +1,35 @@
+#ifndef DIFFODE_LINALG_EIGEN_H_
+#define DIFFODE_LINALG_EIGEN_H_
+
+#include <complex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::linalg {
+
+// Eigenvalues of a general (real, possibly non-symmetric) square matrix via
+// the shifted QR algorithm on the Hessenberg form. Used for stability
+// analysis of dynamics matrices (e.g. verifying the HiPPO-LegS spectrum and
+// the solver stability bounds in DESIGN.md §5.1); not a hot path.
+std::vector<std::complex<Scalar>> Eigenvalues(const Tensor& a,
+                                              int max_iterations = 500);
+
+// Spectral radius max_i |lambda_i|.
+Scalar SpectralRadius(const Tensor& a);
+
+// Spectral abscissa max_i Re(lambda_i) — negative iff dy/dt = A y is
+// asymptotically stable.
+Scalar SpectralAbscissa(const Tensor& a);
+
+// Symmetric eigendecomposition A = V diag(w) Vᵀ via Jacobi rotations
+// (ascending eigenvalues). Aborts if A is not (numerically) symmetric.
+struct SymmetricEigen {
+  Tensor eigenvalues;   // n (rank-1), ascending
+  Tensor eigenvectors;  // n x n, columns
+};
+SymmetricEigen EigenSym(const Tensor& a);
+
+}  // namespace diffode::linalg
+
+#endif  // DIFFODE_LINALG_EIGEN_H_

@@ -1,0 +1,17 @@
+#ifndef DIFFODE_LINALG_LU_H_
+#define DIFFODE_LINALG_LU_H_
+
+#include "tensor/tensor.h"
+
+namespace diffode::linalg {
+
+// Solves the square system A x = b with Gaussian elimination and partial
+// pivoting. b may have multiple columns. Aborts on singular A.
+Tensor Solve(const Tensor& a, const Tensor& b);
+
+// Inverse of a square matrix via LU.
+Tensor Inverse(const Tensor& a);
+
+}  // namespace diffode::linalg
+
+#endif  // DIFFODE_LINALG_LU_H_

@@ -1,0 +1,86 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace diffode::linalg {
+
+QrResult Qr(const Tensor& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  DIFFODE_CHECK_GE(m, n);
+  Tensor r = a;  // working copy, reduced in place
+  // Store Householder vectors to form Q afterwards.
+  std::vector<std::vector<Scalar>> vs;
+  vs.reserve(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    Scalar norm = 0.0;
+    for (Index i = k; i < m; ++i) norm += r.at(i, k) * r.at(i, k);
+    norm = std::sqrt(norm);
+    std::vector<Scalar> v(static_cast<std::size_t>(m - k), 0.0);
+    if (norm > 0.0) {
+      const Scalar alpha = r.at(k, k) >= 0 ? -norm : norm;
+      for (Index i = k; i < m; ++i)
+        v[static_cast<std::size_t>(i - k)] = r.at(i, k);
+      v[0] -= alpha;
+      Scalar vnorm = 0.0;
+      for (Scalar x : v) vnorm += x * x;
+      vnorm = std::sqrt(vnorm);
+      if (vnorm > 1e-300) {
+        for (Scalar& x : v) x /= vnorm;
+        // Apply H = I - 2 v vᵀ to trailing columns.
+        for (Index j = k; j < n; ++j) {
+          Scalar dot = 0.0;
+          for (Index i = k; i < m; ++i)
+            dot += v[static_cast<std::size_t>(i - k)] * r.at(i, j);
+          for (Index i = k; i < m; ++i)
+            r.at(i, j) -= 2.0 * dot * v[static_cast<std::size_t>(i - k)];
+        }
+      } else {
+        for (Scalar& x : v) x = 0.0;
+      }
+    }
+    vs.push_back(std::move(v));
+  }
+  // Form thin Q by applying the reflections to the first n columns of I.
+  Tensor q(Shape{m, n});
+  for (Index j = 0; j < n; ++j) q.at(j, j) = 1.0;
+  for (Index k = n - 1; k >= 0; --k) {
+    const auto& v = vs[static_cast<std::size_t>(k)];
+    for (Index j = 0; j < n; ++j) {
+      Scalar dot = 0.0;
+      for (Index i = k; i < m; ++i)
+        dot += v[static_cast<std::size_t>(i - k)] * q.at(i, j);
+      if (dot == 0.0) continue;
+      for (Index i = k; i < m; ++i)
+        q.at(i, j) -= 2.0 * dot * v[static_cast<std::size_t>(i - k)];
+    }
+  }
+  QrResult result;
+  result.q = std::move(q);
+  result.r = Tensor(Shape{n, n});
+  for (Index i = 0; i < n; ++i)
+    for (Index j = i; j < n; ++j) result.r.at(i, j) = r.at(i, j);
+  return result;
+}
+
+Tensor LeastSquares(const Tensor& a, const Tensor& b) {
+  DIFFODE_CHECK_EQ(a.rows(), b.rows());
+  QrResult qr = Qr(a);
+  Tensor y = qr.q.Transposed().MatMul(b);  // n x k
+  const Index n = qr.r.rows();
+  Tensor x = y;
+  for (Index c = 0; c < x.cols(); ++c) {
+    for (Index i = n - 1; i >= 0; --i) {
+      Scalar s = x.at(i, c);
+      for (Index k = i + 1; k < n; ++k) s -= qr.r.at(i, k) * x.at(k, c);
+      DIFFODE_CHECK_MSG(std::fabs(qr.r.at(i, i)) > 1e-300,
+                        "rank-deficient least squares");
+      x.at(i, c) = s / qr.r.at(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace diffode::linalg

@@ -1,0 +1,23 @@
+#ifndef DIFFODE_LINALG_QR_H_
+#define DIFFODE_LINALG_QR_H_
+
+#include "tensor/tensor.h"
+
+namespace diffode::linalg {
+
+struct QrResult {
+  Tensor q;  // m x n, orthonormal columns (thin factor)
+  Tensor r;  // n x n, upper triangular
+};
+
+// Thin QR factorization of an m x n matrix with m >= n via Householder
+// reflections.
+QrResult Qr(const Tensor& a);
+
+// Solves the least-squares problem min ||A x - b||_2 using QR (A m x n,
+// m >= n, full column rank). b may have multiple columns.
+Tensor LeastSquares(const Tensor& a, const Tensor& b);
+
+}  // namespace diffode::linalg
+
+#endif  // DIFFODE_LINALG_QR_H_

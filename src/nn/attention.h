@@ -1,0 +1,39 @@
+#ifndef DIFFODE_NN_ATTENTION_H_
+#define DIFFODE_NN_ATTENTION_H_
+
+#include "autograd/ops.h"
+
+namespace diffode::nn {
+
+// Scaled-dot-product attention: softmax(q kᵀ / sqrt(d)) v.
+// q: (m x d), k: (n x d), v: (n x dv) -> (m x dv).
+inline ag::Var ScaledDotAttention(const ag::Var& q, const ag::Var& k,
+                                  const ag::Var& v) {
+  const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(q.cols()));
+  ag::Var logits = ag::MulScalar(ag::MatMul(q, ag::Transpose(k)), scale);
+  return ag::MatMul(ag::Softmax(logits), v);
+}
+
+// Multi-head variant splitting the feature dimension into `heads` equal
+// slices (q, k, v must share feature width divisible by heads). No output
+// projection — callers add one if they need it. Matches the paper's Fig. 6
+// multi-head ablation.
+inline ag::Var MultiHeadAttention(const ag::Var& q, const ag::Var& k,
+                                  const ag::Var& v, Index heads) {
+  DIFFODE_CHECK_GT(heads, 0);
+  DIFFODE_CHECK_EQ(q.cols() % heads, 0);
+  const Index slice = q.cols() / heads;
+  std::vector<ag::Var> outs;
+  outs.reserve(static_cast<std::size_t>(heads));
+  for (Index h = 0; h < heads; ++h) {
+    ag::Var qh = ag::SliceCols(q, h * slice, slice);
+    ag::Var kh = ag::SliceCols(k, h * slice, slice);
+    ag::Var vh = ag::SliceCols(v, h * slice, slice);
+    outs.push_back(ScaledDotAttention(qh, kh, vh));
+  }
+  return heads == 1 ? outs[0] : ag::ConcatCols(outs);
+}
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_ATTENTION_H_

@@ -1,0 +1,59 @@
+#ifndef DIFFODE_NN_GRU_H_
+#define DIFFODE_NN_GRU_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace diffode::nn {
+
+// Gated recurrent unit cell (Cho et al. 2014), PyTorch gate convention:
+//   r = sigmoid(x W_xr + h W_hr + b_r)
+//   u = sigmoid(x W_xu + h W_hu + b_u)
+//   c = tanh(x W_xc + (r * h) W_hc + b_c)
+//   h' = (1 - u) * c + u * h
+class GruCell : public Module {
+ public:
+  GruCell(Index input_size, Index hidden_size, Rng& rng)
+      : hidden_size_(hidden_size),
+        x_gates_(std::make_unique<Linear>(input_size, 3 * hidden_size, rng)),
+        h_gates_(std::make_unique<Linear>(hidden_size, 3 * hidden_size, rng)) {
+  }
+
+  Index hidden_size() const { return hidden_size_; }
+
+  // x: (b x input), h: (b x hidden) -> (b x hidden).
+  ag::Var Forward(const ag::Var& x, const ag::Var& h) const {
+    ag::Var xg = x_gates_->Forward(x);
+    ag::Var hg = h_gates_->Forward(h);
+    ag::Var r = ag::Sigmoid(ag::Add(ag::SliceCols(xg, 0, hidden_size_),
+                                    ag::SliceCols(hg, 0, hidden_size_)));
+    ag::Var u = ag::Sigmoid(
+        ag::Add(ag::SliceCols(xg, hidden_size_, hidden_size_),
+                ag::SliceCols(hg, hidden_size_, hidden_size_)));
+    ag::Var c = ag::Tanh(
+        ag::Add(ag::SliceCols(xg, 2 * hidden_size_, hidden_size_),
+                ag::Mul(r, ag::SliceCols(hg, 2 * hidden_size_, hidden_size_))));
+    // h' = (1 - u) * c + u * h = c + u * (h - c)
+    return ag::Add(c, ag::Mul(u, ag::Sub(h, c)));
+  }
+
+  ag::Var InitialState(Index batch = 1) const {
+    return ag::Constant(Tensor(Shape{batch, hidden_size_}));
+  }
+
+  void CollectParams(std::vector<ag::Var>* out) const override {
+    x_gates_->CollectParams(out);
+    h_gates_->CollectParams(out);
+  }
+
+ private:
+  Index hidden_size_;
+  std::unique_ptr<Linear> x_gates_;
+  std::unique_ptr<Linear> h_gates_;
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_GRU_H_

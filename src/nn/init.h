@@ -1,0 +1,23 @@
+#ifndef DIFFODE_NN_INIT_H_
+#define DIFFODE_NN_INIT_H_
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace diffode::nn {
+
+// Xavier/Glorot uniform initialization for a fan_in x fan_out weight matrix.
+inline Tensor XavierUniform(Index fan_in, Index fan_out, Rng& rng) {
+  const Scalar limit =
+      std::sqrt(6.0 / static_cast<Scalar>(fan_in + fan_out));
+  return rng.UniformTensor(Shape{fan_in, fan_out}, -limit, limit);
+}
+
+// Orthogonal-ish initialization for recurrent weights: Xavier scaled down.
+inline Tensor RecurrentInit(Index n, Rng& rng) {
+  return rng.NormalTensor(Shape{n, n}, 0.0, 1.0 / std::sqrt(Scalar(n)));
+}
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_INIT_H_

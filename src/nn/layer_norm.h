@@ -1,0 +1,36 @@
+#ifndef DIFFODE_NN_LAYER_NORM_H_
+#define DIFFODE_NN_LAYER_NORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace diffode::nn {
+
+// Layer normalization with learned affine gain/bias (Ba et al. 2016):
+// y = gain * (x - mu) / sqrt(var + eps) + bias, per row.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(Index features, Scalar eps = 1e-5)
+      : eps_(eps),
+        gain_(ag::Param(Tensor::Ones(Shape{1, features}))),
+        bias_(ag::Param(Tensor(Shape{1, features}))) {}
+
+  ag::Var Forward(const ag::Var& x) const {
+    return ag::AddRowVec(ag::MulRowVec(ag::LayerNormRows(x, eps_), gain_),
+                         bias_);
+  }
+
+  void CollectParams(std::vector<ag::Var>* out) const override {
+    out->push_back(gain_);
+    out->push_back(bias_);
+  }
+
+ private:
+  Scalar eps_;
+  ag::Var gain_;
+  ag::Var bias_;
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_LAYER_NORM_H_

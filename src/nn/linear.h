@@ -1,0 +1,38 @@
+#ifndef DIFFODE_NN_LINEAR_H_
+#define DIFFODE_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+#include "tensor/random.h"
+
+namespace diffode::nn {
+
+// Affine layer y = x W + b for row-major inputs (rows are samples).
+class Linear : public Module {
+ public:
+  Linear(Index in_features, Index out_features, Rng& rng)
+      : weight_(ag::Param(XavierUniform(in_features, out_features, rng))),
+        bias_(ag::Param(Tensor(Shape{1, out_features}))) {}
+
+  ag::Var Forward(const ag::Var& x) const {
+    return ag::AddRowVec(ag::MatMul(x, weight_), bias_);
+  }
+
+  void CollectParams(std::vector<ag::Var>* out) const override {
+    out->push_back(weight_);
+    out->push_back(bias_);
+  }
+
+  Index in_features() const { return weight_.rows(); }
+  Index out_features() const { return weight_.cols(); }
+  const ag::Var& weight() const { return weight_; }
+
+ private:
+  ag::Var weight_;  // in x out
+  ag::Var bias_;    // 1 x out
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_LINEAR_H_

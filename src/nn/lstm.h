@@ -1,0 +1,66 @@
+#ifndef DIFFODE_NN_LSTM_H_
+#define DIFFODE_NN_LSTM_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+
+namespace diffode::nn {
+
+// Long short-term memory cell (Hochreiter & Schmidhuber 1997):
+//   i = sigmoid(x W_xi + h W_hi + b_i)     input gate
+//   f = sigmoid(x W_xf + h W_hf + b_f)     forget gate
+//   o = sigmoid(x W_xo + h W_ho + b_o)     output gate
+//   g = tanh  (x W_xg + h W_hg + b_g)      candidate
+//   c' = f * c + i * g
+//   h' = o * tanh(c')
+class LstmCell : public Module {
+ public:
+  struct State {
+    ag::Var h;  // b x hidden
+    ag::Var c;  // b x hidden
+  };
+
+  LstmCell(Index input_size, Index hidden_size, Rng& rng)
+      : hidden_size_(hidden_size),
+        x_gates_(std::make_unique<Linear>(input_size, 4 * hidden_size, rng)),
+        h_gates_(std::make_unique<Linear>(hidden_size, 4 * hidden_size, rng)) {
+  }
+
+  Index hidden_size() const { return hidden_size_; }
+
+  State Forward(const ag::Var& x, const State& state) const {
+    ag::Var gates =
+        ag::Add(x_gates_->Forward(x), h_gates_->Forward(state.h));
+    ag::Var i = ag::Sigmoid(ag::SliceCols(gates, 0, hidden_size_));
+    ag::Var f = ag::Sigmoid(ag::SliceCols(gates, hidden_size_, hidden_size_));
+    ag::Var o =
+        ag::Sigmoid(ag::SliceCols(gates, 2 * hidden_size_, hidden_size_));
+    ag::Var g = ag::Tanh(ag::SliceCols(gates, 3 * hidden_size_, hidden_size_));
+    State next;
+    next.c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+    next.h = ag::Mul(o, ag::Tanh(next.c));
+    return next;
+  }
+
+  State InitialState(Index batch = 1) const {
+    State s;
+    s.h = ag::Constant(Tensor(Shape{batch, hidden_size_}));
+    s.c = ag::Constant(Tensor(Shape{batch, hidden_size_}));
+    return s;
+  }
+
+  void CollectParams(std::vector<ag::Var>* out) const override {
+    x_gates_->CollectParams(out);
+    h_gates_->CollectParams(out);
+  }
+
+ private:
+  Index hidden_size_;
+  std::unique_ptr<Linear> x_gates_;
+  std::unique_ptr<Linear> h_gates_;
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_LSTM_H_

@@ -1,0 +1,60 @@
+#ifndef DIFFODE_NN_MLP_H_
+#define DIFFODE_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace diffode::nn {
+
+enum class Activation { kTanh, kRelu, kSigmoid, kNone };
+
+inline ag::Var Activate(const ag::Var& x, Activation act) {
+  switch (act) {
+    case Activation::kTanh:
+      return ag::Tanh(x);
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kNone:
+      return x;
+  }
+  return x;
+}
+
+// Multi-layer perceptron. `dims` lists layer widths including input and
+// output, e.g. {in, hidden, out}. The activation is applied between layers
+// but not after the last one.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<Index>& dims, Rng& rng,
+      Activation activation = Activation::kTanh)
+      : activation_(activation) {
+    DIFFODE_CHECK_GE(dims.size(), 2u);
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+      layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+
+  ag::Var Forward(const ag::Var& x) const {
+    ag::Var h = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      h = layers_[i]->Forward(h);
+      if (i + 1 < layers_.size()) h = Activate(h, activation_);
+    }
+    return h;
+  }
+
+  void CollectParams(std::vector<ag::Var>* out) const override {
+    for (const auto& l : layers_) l->CollectParams(out);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_MLP_H_

@@ -1,0 +1,40 @@
+#ifndef DIFFODE_NN_MODULE_H_
+#define DIFFODE_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace diffode::nn {
+
+// Base class for anything with trainable parameters. Parameters are autograd
+// Vars with requires_grad set; handles are shared, so collecting them copies
+// cheap shared_ptr handles into the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+
+  // Appends this module's parameters (including submodules') to out.
+  virtual void CollectParams(std::vector<ag::Var>* out) const = 0;
+
+  std::vector<ag::Var> Params() const {
+    std::vector<ag::Var> out;
+    CollectParams(&out);
+    return out;
+  }
+
+  Index NumParams() const {
+    Index n = 0;
+    for (const auto& p : Params()) n += p.value().numel();
+    return n;
+  }
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_MODULE_H_

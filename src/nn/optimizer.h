@@ -1,0 +1,128 @@
+#ifndef DIFFODE_NN_OPTIMIZER_H_
+#define DIFFODE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace diffode::nn {
+
+// First-order optimizers over a fixed parameter list. Gradients accumulate
+// across Backward() calls; Step() applies the update and callers then
+// ZeroGrad() (or use StepAndZero).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  void StepAndZero() {
+    Step();
+    ZeroGrad();
+  }
+
+  // Rescales accumulated gradients (e.g. by 1/batch before stepping).
+  void ScaleGrads(Scalar factor) {
+    for (auto& p : params_) p.grad() *= factor;
+  }
+
+  Scalar GradNorm() {
+    Scalar s = 0.0;
+    for (auto& p : params_) {
+      const Scalar n = p.grad().Norm();
+      s += n * n;
+    }
+    return std::sqrt(s);
+  }
+
+  // Clips the global gradient norm to max_norm (no-op if already smaller).
+  void ClipGradNorm(Scalar max_norm) {
+    const Scalar norm = GradNorm();
+    if (norm > max_norm && norm > 0.0) ScaleGrads(max_norm / norm);
+  }
+
+ protected:
+  std::vector<ag::Var> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, Scalar lr, Scalar momentum = 0.0)
+      : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+    if (momentum_ > 0.0)
+      for (const auto& p : params_) velocity_.emplace_back(p.value().shape());
+  }
+
+  void Step() override {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      auto& p = params_[i];
+      if (momentum_ > 0.0) {
+        velocity_[i] = velocity_[i] * momentum_ + p.grad();
+        p.mutable_value() -= velocity_[i] * lr_;
+      } else {
+        p.mutable_value() -= p.grad() * lr_;
+      }
+    }
+  }
+
+ private:
+  Scalar lr_;
+  Scalar momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba) with classic L2 weight decay folded into the gradient,
+// matching the paper's lr = weight_decay = 1e-3 configuration.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, Scalar lr, Scalar weight_decay = 0.0,
+       Scalar beta1 = 0.9, Scalar beta2 = 0.999, Scalar eps = 1e-8)
+      : Optimizer(std::move(params)),
+        lr_(lr),
+        weight_decay_(weight_decay),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {
+    for (const auto& p : params_) {
+      m_.emplace_back(p.value().shape());
+      v_.emplace_back(p.value().shape());
+    }
+  }
+
+  void Step() override {
+    ++t_;
+    const Scalar bc1 = 1.0 - std::pow(beta1_, static_cast<Scalar>(t_));
+    const Scalar bc2 = 1.0 - std::pow(beta2_, static_cast<Scalar>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      auto& p = params_[i];
+      Tensor g = p.grad();
+      if (weight_decay_ > 0.0) g += p.value() * weight_decay_;
+      m_[i] = m_[i] * beta1_ + g * (1.0 - beta1_);
+      v_[i] = v_[i] * beta2_ + (g * g) * (1.0 - beta2_);
+      Tensor update = m_[i] / bc1;
+      Tensor denom =
+          (v_[i] / bc2).Map([this](Scalar x) { return std::sqrt(x) + eps_; });
+      p.mutable_value() -= update.CwiseQuotient(denom) * lr_;
+    }
+  }
+
+ private:
+  Scalar lr_;
+  Scalar weight_decay_;
+  Scalar beta1_;
+  Scalar beta2_;
+  Scalar eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace diffode::nn
+
+#endif  // DIFFODE_NN_OPTIMIZER_H_

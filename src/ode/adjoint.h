@@ -1,0 +1,39 @@
+#ifndef DIFFODE_ODE_ADJOINT_H_
+#define DIFFODE_ODE_ADJOINT_H_
+
+#include "ode/diff_integrator.h"
+
+namespace diffode::ode {
+
+// Memory-efficient gradients for ODE training (the adjoint-style companion
+// to IntegrateVar).
+//
+// IntegrateVar unrolls every solver stage onto the tape: memory grows with
+// the number of steps. AdjointSolve instead runs the forward pass WITHOUT a
+// tape, checkpointing only the state at each step boundary, and then walks
+// the steps backwards, rebuilding each step's tiny local graph to pull the
+// adjoint (vector-Jacobian product) through it. Gradients are bit-identical
+// to the unrolled tape (this is the discrete adjoint on the same grid — the
+// robust form of the continuous adjoint method of Chen et al. 2018), while
+// peak tape memory is one step instead of the whole trajectory.
+//
+// Parameter gradients accumulate into the Params captured inside `f` (they
+// are ordinary tape leaves of each local graph), exactly as a Backward()
+// through IntegrateVar would.
+struct AdjointResult {
+  Tensor y1;   // forward solution at t1
+  Tensor dy0;  // dL/dy0 given the seed dL/dy1
+};
+
+AdjointResult AdjointSolve(const DiffOdeFunc& f, const Tensor& y0, Scalar t0,
+                           Scalar t1, const Tensor& dl_dy1,
+                           const DiffSolveOptions& options = {});
+
+// Forward-only convenience: integrates the Var-based RHS on plain tensors
+// (no tape), e.g. for inference with a trained dynamics closure.
+Tensor ForwardOnly(const DiffOdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                   const DiffSolveOptions& options = {});
+
+}  // namespace diffode::ode
+
+#endif  // DIFFODE_ODE_ADJOINT_H_

@@ -1,0 +1,122 @@
+#include "ode/cubic_spline.h"
+
+#include <algorithm>
+
+namespace diffode::ode {
+
+CubicSpline::CubicSpline(std::vector<Scalar> times, Tensor values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  const Index n = static_cast<Index>(times_.size());
+  DIFFODE_CHECK_GE(n, 2);
+  DIFFODE_CHECK_EQ(values_.rows(), n);
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    DIFFODE_CHECK_MSG(times_[i] > times_[i - 1],
+                      "spline knots must be strictly increasing");
+  const Index c = values_.cols();
+  m_ = Tensor(Shape{n, c});
+  if (n == 2) return;  // natural spline of two points is linear; m = 0
+  // Solve the tridiagonal system for second derivatives (natural BCs),
+  // Thomas algorithm, one pass shared across channels.
+  const Index interior = n - 2;
+  std::vector<Scalar> h(static_cast<std::size_t>(n - 1));
+  for (Index i = 0; i < n - 1; ++i)
+    h[static_cast<std::size_t>(i)] =
+        times_[static_cast<std::size_t>(i + 1)] -
+        times_[static_cast<std::size_t>(i)];
+  // Tridiagonal coefficients (same for every channel).
+  std::vector<Scalar> sub(static_cast<std::size_t>(interior)),
+      diag(static_cast<std::size_t>(interior)),
+      sup(static_cast<std::size_t>(interior));
+  for (Index i = 0; i < interior; ++i) {
+    sub[static_cast<std::size_t>(i)] = h[static_cast<std::size_t>(i)];
+    diag[static_cast<std::size_t>(i)] =
+        2.0 * (h[static_cast<std::size_t>(i)] +
+               h[static_cast<std::size_t>(i + 1)]);
+    sup[static_cast<std::size_t>(i)] = h[static_cast<std::size_t>(i + 1)];
+  }
+  for (Index ch = 0; ch < c; ++ch) {
+    std::vector<Scalar> rhs(static_cast<std::size_t>(interior));
+    for (Index i = 0; i < interior; ++i) {
+      const Scalar d1 = (values_.at(i + 1, ch) - values_.at(i, ch)) /
+                        h[static_cast<std::size_t>(i)];
+      const Scalar d2 = (values_.at(i + 2, ch) - values_.at(i + 1, ch)) /
+                        h[static_cast<std::size_t>(i + 1)];
+      rhs[static_cast<std::size_t>(i)] = 6.0 * (d2 - d1);
+    }
+    // Thomas forward sweep.
+    std::vector<Scalar> cp(static_cast<std::size_t>(interior)),
+        dp(static_cast<std::size_t>(interior));
+    cp[0] = sup[0] / diag[0];
+    dp[0] = rhs[0] / diag[0];
+    for (Index i = 1; i < interior; ++i) {
+      const Scalar denom =
+          diag[static_cast<std::size_t>(i)] -
+          sub[static_cast<std::size_t>(i)] * cp[static_cast<std::size_t>(i - 1)];
+      cp[static_cast<std::size_t>(i)] =
+          sup[static_cast<std::size_t>(i)] / denom;
+      dp[static_cast<std::size_t>(i)] =
+          (rhs[static_cast<std::size_t>(i)] -
+           sub[static_cast<std::size_t>(i)] *
+               dp[static_cast<std::size_t>(i - 1)]) /
+          denom;
+    }
+    // Back substitution into the interior rows of m_.
+    m_.at(interior, ch) = 0.0;  // natural boundary handled below
+    Scalar next = dp[static_cast<std::size_t>(interior - 1)];
+    m_.at(interior, ch) = next;
+    for (Index i = interior - 2; i >= 0; --i) {
+      next = dp[static_cast<std::size_t>(i)] -
+             cp[static_cast<std::size_t>(i)] * next;
+      m_.at(i + 1, ch) = next;
+    }
+    m_.at(0, ch) = 0.0;
+    m_.at(n - 1, ch) = 0.0;
+  }
+}
+
+Index CubicSpline::SegmentIndex(Scalar t) const {
+  const Index n = static_cast<Index>(times_.size());
+  if (t <= times_.front()) return 0;
+  if (t >= times_.back()) return n - 2;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  return static_cast<Index>(it - times_.begin()) - 1;
+}
+
+Tensor CubicSpline::Evaluate(Scalar t) const {
+  const Index i = SegmentIndex(t);
+  const Scalar t0 = times_[static_cast<std::size_t>(i)];
+  const Scalar t1 = times_[static_cast<std::size_t>(i + 1)];
+  const Scalar h = t1 - t0;
+  const Scalar a = (t1 - t) / h;
+  const Scalar b = (t - t0) / h;
+  const Index c = values_.cols();
+  Tensor out(Shape{1, c});
+  for (Index ch = 0; ch < c; ++ch) {
+    out.at(0, ch) = a * values_.at(i, ch) + b * values_.at(i + 1, ch) +
+                    ((a * a * a - a) * m_.at(i, ch) +
+                     (b * b * b - b) * m_.at(i + 1, ch)) *
+                        (h * h) / 6.0;
+  }
+  return out;
+}
+
+Tensor CubicSpline::Derivative(Scalar t) const {
+  const Index i = SegmentIndex(t);
+  const Scalar t0 = times_[static_cast<std::size_t>(i)];
+  const Scalar t1 = times_[static_cast<std::size_t>(i + 1)];
+  const Scalar h = t1 - t0;
+  const Scalar a = (t1 - t) / h;
+  const Scalar b = (t - t0) / h;
+  const Index c = values_.cols();
+  Tensor out(Shape{1, c});
+  for (Index ch = 0; ch < c; ++ch) {
+    out.at(0, ch) =
+        (values_.at(i + 1, ch) - values_.at(i, ch)) / h +
+        ((1.0 - 3.0 * a * a) * m_.at(i, ch) +
+         (3.0 * b * b - 1.0) * m_.at(i + 1, ch)) *
+            h / 6.0;
+  }
+  return out;
+}
+
+}  // namespace diffode::ode

@@ -1,0 +1,40 @@
+#ifndef DIFFODE_ODE_CUBIC_SPLINE_H_
+#define DIFFODE_ODE_CUBIC_SPLINE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::ode {
+
+// Natural cubic spline through multichannel knots — the control-path
+// construction used by Neural CDEs (Kidger et al. 2020), i.e. the paper's
+// Fig. 1(b) interpolation approach. Each channel is splined independently.
+class CubicSpline {
+ public:
+  // times: strictly increasing knot locations (size n >= 2);
+  // values: n x c knot values.
+  CubicSpline(std::vector<Scalar> times, Tensor values);
+
+  Index num_channels() const { return values_.cols(); }
+  Scalar t_min() const { return times_.front(); }
+  Scalar t_max() const { return times_.back(); }
+
+  // Spline value at t (1 x c). Queries outside [t_min, t_max] extrapolate
+  // the boundary cubic.
+  Tensor Evaluate(Scalar t) const;
+
+  // Spline derivative dX/dt at t (1 x c) — the CDE control signal.
+  Tensor Derivative(Scalar t) const;
+
+ private:
+  Index SegmentIndex(Scalar t) const;
+
+  std::vector<Scalar> times_;
+  Tensor values_;  // n x c
+  Tensor m_;       // n x c second derivatives at the knots
+};
+
+}  // namespace diffode::ode
+
+#endif  // DIFFODE_ODE_CUBIC_SPLINE_H_

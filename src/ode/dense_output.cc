@@ -1,0 +1,83 @@
+#include "ode/dense_output.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diffode::ode {
+
+DenseSolution::DenseSolution(const OdeFunc& f, Tensor y0, Scalar t0,
+                             Scalar t1, Scalar step)
+    : t0_(t0), t1_(t1) {
+  DIFFODE_CHECK_GT(std::fabs(step), 0.0);
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  const Scalar h_mag = std::fabs(step);
+  Scalar t = t0;
+  Tensor y = std::move(y0);
+  times_.push_back(t);
+  derivs_.push_back(f(t, y));
+  states_.push_back(y);
+  while (direction * (t1 - t) > 1e-14) {
+    const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
+    Tensor k1 = derivs_.back();
+    Tensor k2 = f(t + 0.5 * h, y + k1 * (0.5 * h));
+    Tensor k3 = f(t + 0.5 * h, y + k2 * (0.5 * h));
+    Tensor k4 = f(t + h, y + k3 * h);
+    y += (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0);
+    t += h;
+    times_.push_back(t);
+    states_.push_back(y);
+    derivs_.push_back(f(t, y));
+  }
+}
+
+std::size_t DenseSolution::SegmentIndex(Scalar t) const {
+  if (times_.size() < 2) return 0;
+  const bool increasing = times_.back() >= times_.front();
+  // Binary search over (possibly decreasing) node times.
+  std::size_t lo = 0, hi = times_.size() - 2;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    const bool before = increasing ? times_[mid] <= t : times_[mid] >= t;
+    if (before) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+Tensor DenseSolution::Evaluate(Scalar t) const {
+  if (times_.size() == 1) return states_[0];
+  const std::size_t i = SegmentIndex(t);
+  const Scalar ta = times_[i];
+  const Scalar tb = times_[i + 1];
+  const Scalar h = tb - ta;
+  Scalar u = (t - ta) / h;
+  u = std::clamp(u, 0.0, 1.0);
+  // Cubic Hermite basis.
+  const Scalar h00 = (1 + 2 * u) * (1 - u) * (1 - u);
+  const Scalar h10 = u * (1 - u) * (1 - u);
+  const Scalar h01 = u * u * (3 - 2 * u);
+  const Scalar h11 = u * u * (u - 1);
+  return states_[i] * h00 + derivs_[i] * (h10 * h) + states_[i + 1] * h01 +
+         derivs_[i + 1] * (h11 * h);
+}
+
+Tensor DenseSolution::Derivative(Scalar t) const {
+  if (times_.size() == 1) return derivs_[0];
+  const std::size_t i = SegmentIndex(t);
+  const Scalar ta = times_[i];
+  const Scalar tb = times_[i + 1];
+  const Scalar h = tb - ta;
+  Scalar u = (t - ta) / h;
+  u = std::clamp(u, 0.0, 1.0);
+  const Scalar dh00 = 6 * u * (u - 1) / h;
+  const Scalar dh10 = (1 - u) * (1 - 3 * u);
+  const Scalar dh01 = -6 * u * (u - 1) / h;
+  const Scalar dh11 = u * (3 * u - 2);
+  return states_[i] * dh00 + derivs_[i] * dh10 + states_[i + 1] * dh01 +
+         derivs_[i + 1] * dh11;
+}
+
+}  // namespace diffode::ode

@@ -1,0 +1,48 @@
+#ifndef DIFFODE_ODE_DENSE_OUTPUT_H_
+#define DIFFODE_ODE_DENSE_OUTPUT_H_
+
+#include <vector>
+
+#include "ode/solver.h"
+
+namespace diffode::ode {
+
+// Continuous extension of a fixed-step RK4 integration: stores the state
+// and derivative at every accepted step and answers state queries at any
+// time inside the integrated span with cubic Hermite interpolation (locally
+// 4th-order accurate between nodes). This is the "dense output" facility
+// adaptive ODE suites provide, built here for evaluating latent
+// trajectories at arbitrary irregular query times without re-integrating.
+class DenseSolution {
+ public:
+  // Integrates dy/dt = f(t, y) from t0 to t1 with fixed step `step`,
+  // recording the trajectory.
+  DenseSolution(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                Scalar step);
+
+  Scalar t_min() const { return std::min(t0_, t1_); }
+  Scalar t_max() const { return std::max(t0_, t1_); }
+
+  // State at any t in [t_min, t_max] (clamped outside).
+  Tensor Evaluate(Scalar t) const;
+
+  // Derivative dy/dt at t (from the Hermite segment).
+  Tensor Derivative(Scalar t) const;
+
+  // The recorded nodes (for inspection/tests).
+  const std::vector<Scalar>& times() const { return times_; }
+  const std::vector<Tensor>& states() const { return states_; }
+
+ private:
+  std::size_t SegmentIndex(Scalar t) const;
+
+  Scalar t0_;
+  Scalar t1_;
+  std::vector<Scalar> times_;
+  std::vector<Tensor> states_;
+  std::vector<Tensor> derivs_;
+};
+
+}  // namespace diffode::ode
+
+#endif  // DIFFODE_ODE_DENSE_OUTPUT_H_

@@ -1,0 +1,76 @@
+#include "ode/diff_integrator.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace diffode::ode {
+namespace {
+
+ag::Var EulerStep(const DiffOdeFunc& f, Scalar t, const ag::Var& y, Scalar h) {
+  return ag::Add(y, ag::MulScalar(f(t, y), h));
+}
+
+ag::Var MidpointStep(const DiffOdeFunc& f, Scalar t, const ag::Var& y,
+                     Scalar h) {
+  ag::Var k1 = f(t, y);
+  ag::Var k2 = f(t + 0.5 * h, ag::Add(y, ag::MulScalar(k1, 0.5 * h)));
+  return ag::Add(y, ag::MulScalar(k2, h));
+}
+
+ag::Var Rk4Step(const DiffOdeFunc& f, Scalar t, const ag::Var& y, Scalar h) {
+  ag::Var k1 = f(t, y);
+  ag::Var k2 = f(t + 0.5 * h, ag::Add(y, ag::MulScalar(k1, 0.5 * h)));
+  ag::Var k3 = f(t + 0.5 * h, ag::Add(y, ag::MulScalar(k2, 0.5 * h)));
+  ag::Var k4 = f(t + h, ag::Add(y, ag::MulScalar(k3, h)));
+  ag::Var sum = ag::Add(ag::Add(k1, ag::MulScalar(k2, 2.0)),
+                        ag::Add(ag::MulScalar(k3, 2.0), k4));
+  return ag::Add(y, ag::MulScalar(sum, h / 6.0));
+}
+
+}  // namespace
+
+ag::Var IntegrateVar(const DiffOdeFunc& f, ag::Var y0, Scalar t0, Scalar t1,
+                     const DiffSolveOptions& options) {
+  if (t0 == t1) return y0;
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  const Scalar h_mag = std::fabs(options.step);
+  DIFFODE_CHECK_GT(h_mag, 0.0);
+  Scalar t = t0;
+  ag::Var y = std::move(y0);
+  while (direction * (t1 - t) > 1e-14) {
+    const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
+    switch (options.method) {
+      case DiffMethod::kEuler:
+        y = EulerStep(f, t, y, h);
+        break;
+      case DiffMethod::kMidpoint:
+        y = MidpointStep(f, t, y, h);
+        break;
+      case DiffMethod::kRk4:
+        y = Rk4Step(f, t, y, h);
+        break;
+    }
+    t += h;
+  }
+  return y;
+}
+
+std::vector<ag::Var> IntegrateVarDense(const DiffOdeFunc& f, ag::Var y0,
+                                       const std::vector<Scalar>& times,
+                                       const DiffSolveOptions& options) {
+  DIFFODE_CHECK(!times.empty());
+  std::vector<ag::Var> out;
+  out.reserve(times.size());
+  out.push_back(y0);
+  ag::Var y = std::move(y0);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    DIFFODE_CHECK_MSG(times[i] > times[i - 1],
+                      "IntegrateVarDense needs strictly increasing times");
+    y = IntegrateVar(f, y, times[i - 1], times[i], options);
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace diffode::ode

@@ -1,0 +1,100 @@
+#include "ode/dopri5.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diffode::ode::internal {
+namespace {
+
+// Dormand-Prince 5(4) Butcher tableau.
+constexpr Scalar kC[7] = {0.0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+constexpr Scalar kA[7][6] = {
+    {},
+    {1.0 / 5},
+    {3.0 / 40, 9.0 / 40},
+    {44.0 / 45, -56.0 / 15, 32.0 / 9},
+    {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+    {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+    {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+};
+// 5th-order solution weights (same as the last A row: FSAL).
+constexpr Scalar kB5[7] = {35.0 / 384,    0.0,  500.0 / 1113, 125.0 / 192,
+                           -2187.0 / 6784, 11.0 / 84, 0.0};
+// 4th-order embedded weights.
+constexpr Scalar kB4[7] = {5179.0 / 57600,  0.0,          7571.0 / 16695,
+                           393.0 / 640,     -92097.0 / 339200,
+                           187.0 / 2100,    1.0 / 40};
+
+Scalar ErrorNorm(const Tensor& err, const Tensor& y0, const Tensor& y1,
+                 Scalar rtol, Scalar atol) {
+  Scalar sum = 0.0;
+  for (Index i = 0; i < err.numel(); ++i) {
+    const Scalar scale =
+        atol + rtol * std::max(std::fabs(y0[i]), std::fabs(y1[i]));
+    const Scalar e = err[i] / scale;
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<Scalar>(std::max<Index>(err.numel(), 1)));
+}
+
+}  // namespace
+
+Tensor Dopri5Integrate(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                       const SolveOptions& options, SolveStats* stats) {
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  Scalar t = t0;
+  Tensor y = std::move(y0);
+  Tensor k[7];
+  k[0] = f(t, y);
+  if (stats) stats->rhs_evals += 1;
+  // Initial step heuristic: a small fraction of the interval.
+  Scalar h = direction * std::min(std::fabs(t1 - t0) / 10.0, options.max_step);
+  if (h == 0.0) return y;
+  Scalar prev_error = 1.0;  // for the PI controller
+  const Scalar kSafety = 0.9;
+  while (direction * (t1 - t) > 1e-14) {
+    if (direction * (t + h - t1) > 0.0) h = t1 - t;
+    // Stages.
+    for (int s = 1; s < 7; ++s) {
+      Tensor ys = y;
+      for (int j = 0; j < s; ++j) {
+        if (kA[s][j] != 0.0) ys += k[j] * (h * kA[s][j]);
+      }
+      k[s] = f(t + kC[s] * h, ys);
+      if (stats) stats->rhs_evals += 1;
+    }
+    // 5th-order solution and embedded error estimate.
+    Tensor y5 = y;
+    Tensor err(y.shape());
+    for (int s = 0; s < 7; ++s) {
+      if (kB5[s] != 0.0) y5 += k[s] * (h * kB5[s]);
+      const Scalar db = kB5[s] - kB4[s];
+      if (db != 0.0) err += k[s] * (h * db);
+    }
+    const Scalar error = ErrorNorm(err, y, y5, options.rtol, options.atol);
+    if (error <= 1.0 || std::fabs(h) <= options.min_step) {
+      // Accept.
+      t += h;
+      y = std::move(y5);
+      k[0] = k[6];  // FSAL
+      if (stats) stats->steps += 1;
+      const Scalar e = std::max(error, 1e-10);
+      // PI controller (beta1=0.7/5, beta2=-0.4/5 per Hairer).
+      Scalar factor = kSafety * std::pow(e, -0.7 / 5.0) *
+                      std::pow(std::max(prev_error, 1e-10), 0.4 / 5.0);
+      factor = std::clamp(factor, 0.2, 5.0);
+      h *= factor;
+      prev_error = e;
+    } else {
+      if (stats) stats->rejected_steps += 1;
+      const Scalar factor =
+          std::clamp(kSafety * std::pow(error, -1.0 / 5.0), 0.1, 1.0);
+      h *= factor;
+    }
+    if (std::fabs(h) > options.max_step) h = direction * options.max_step;
+    if (std::fabs(h) < options.min_step) h = direction * options.min_step;
+  }
+  return y;
+}
+
+}  // namespace diffode::ode::internal

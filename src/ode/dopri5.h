@@ -1,0 +1,14 @@
+#ifndef DIFFODE_ODE_DOPRI5_H_
+#define DIFFODE_ODE_DOPRI5_H_
+
+#include "ode/solver.h"
+
+namespace diffode::ode::internal {
+
+// Adaptive Dormand-Prince 5(4) with a PI step-size controller.
+Tensor Dopri5Integrate(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                       const SolveOptions& options, SolveStats* stats);
+
+}  // namespace diffode::ode::internal
+
+#endif  // DIFFODE_ODE_DOPRI5_H_

@@ -1,0 +1,101 @@
+#include <cmath>
+
+#include "ode/dopri5.h"
+#include "ode/implicit_adams.h"
+#include "ode/solver.h"
+
+namespace diffode::ode {
+namespace {
+
+Tensor EulerStep(const OdeFunc& f, Scalar t, const Tensor& y, Scalar h,
+                 SolveStats* stats) {
+  if (stats) stats->rhs_evals += 1;
+  return y + f(t, y) * h;
+}
+
+Tensor MidpointStep(const OdeFunc& f, Scalar t, const Tensor& y, Scalar h,
+                    SolveStats* stats) {
+  if (stats) stats->rhs_evals += 2;
+  Tensor k1 = f(t, y);
+  Tensor k2 = f(t + 0.5 * h, y + k1 * (0.5 * h));
+  return y + k2 * h;
+}
+
+Tensor Rk4Step(const OdeFunc& f, Scalar t, const Tensor& y, Scalar h,
+               SolveStats* stats) {
+  if (stats) stats->rhs_evals += 4;
+  Tensor k1 = f(t, y);
+  Tensor k2 = f(t + 0.5 * h, y + k1 * (0.5 * h));
+  Tensor k3 = f(t + 0.5 * h, y + k2 * (0.5 * h));
+  Tensor k4 = f(t + h, y + k3 * h);
+  return y + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0);
+}
+
+// Fixed-step march from t0 to t1 with the step function of the chosen method.
+Tensor FixedStepIntegrate(const OdeFunc& f, Tensor y, Scalar t0, Scalar t1,
+                          const SolveOptions& options, SolveStats* stats) {
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  const Scalar h_mag = std::fabs(options.step);
+  DIFFODE_CHECK_GT(h_mag, 0.0);
+  Scalar t = t0;
+  while (direction * (t1 - t) > 1e-14) {
+    const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
+    switch (options.method) {
+      case Method::kEuler:
+        y = EulerStep(f, t, y, h, stats);
+        break;
+      case Method::kMidpoint:
+        y = MidpointStep(f, t, y, h, stats);
+        break;
+      case Method::kRk4:
+        y = Rk4Step(f, t, y, h, stats);
+        break;
+      default:
+        DIFFODE_CHECK_MSG(false, "not a fixed-step method");
+    }
+    t += h;
+    if (stats) stats->steps += 1;
+  }
+  return y;
+}
+
+}  // namespace
+
+Tensor Integrate(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                 const SolveOptions& options, SolveStats* stats) {
+  if (t0 == t1) return y0;
+  switch (options.method) {
+    case Method::kEuler:
+    case Method::kMidpoint:
+    case Method::kRk4:
+      return FixedStepIntegrate(f, std::move(y0), t0, t1, options, stats);
+    case Method::kDopri5:
+      return internal::Dopri5Integrate(f, std::move(y0), t0, t1, options,
+                                       stats);
+    case Method::kImplicitAdams:
+      return internal::ImplicitAdamsIntegrate(f, std::move(y0), t0, t1,
+                                              options, stats);
+  }
+  DIFFODE_CHECK(false);
+  return y0;
+}
+
+std::vector<Tensor> IntegrateDense(const OdeFunc& f, Tensor y0,
+                                   const std::vector<Scalar>& times,
+                                   const SolveOptions& options,
+                                   SolveStats* stats) {
+  DIFFODE_CHECK(!times.empty());
+  std::vector<Tensor> out;
+  out.reserve(times.size());
+  out.push_back(y0);
+  Tensor y = std::move(y0);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    DIFFODE_CHECK_MSG(times[i] > times[i - 1],
+                      "IntegrateDense needs strictly increasing times");
+    y = Integrate(f, std::move(y), times[i - 1], times[i], options, stats);
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace diffode::ode

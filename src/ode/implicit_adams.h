@@ -1,0 +1,17 @@
+#ifndef DIFFODE_ODE_IMPLICIT_ADAMS_H_
+#define DIFFODE_ODE_IMPLICIT_ADAMS_H_
+
+#include "ode/solver.h"
+
+namespace diffode::ode::internal {
+
+// Fixed-step implicit Adams (Adams-Moulton) predictor-corrector of order up
+// to options.adams_order (max 4), bootstrapped with RK4. This is the solver
+// family the paper reports using for the DHS integration.
+Tensor ImplicitAdamsIntegrate(const OdeFunc& f, Tensor y0, Scalar t0,
+                              Scalar t1, const SolveOptions& options,
+                              SolveStats* stats);
+
+}  // namespace diffode::ode::internal
+
+#endif  // DIFFODE_ODE_IMPLICIT_ADAMS_H_

@@ -1,0 +1,56 @@
+#ifndef DIFFODE_ODE_SOLVER_H_
+#define DIFFODE_ODE_SOLVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::ode {
+
+// Right-hand side of dy/dt = f(t, y) on plain tensors (inference path).
+using OdeFunc = std::function<Tensor(Scalar t, const Tensor& y)>;
+
+enum class Method {
+  kEuler,
+  kMidpoint,
+  kRk4,
+  kDopri5,         // adaptive Dormand-Prince 5(4)
+  kImplicitAdams,  // Adams-Moulton predictor-corrector (paper's solver)
+};
+
+struct SolveOptions {
+  Method method = Method::kRk4;
+  // Fixed step size for non-adaptive methods (the paper uses 0.05 for
+  // classification, 5 for interpolation/extrapolation).
+  Scalar step = 0.05;
+  // Tolerances for adaptive methods.
+  Scalar rtol = 1e-6;
+  Scalar atol = 1e-8;
+  Scalar max_step = 1.0e30;
+  Scalar min_step = 1e-10;
+  // Corrector iterations for implicit Adams.
+  int corrector_iters = 2;
+  int adams_order = 4;
+};
+
+struct SolveStats {
+  Index steps = 0;
+  Index rhs_evals = 0;
+  Index rejected_steps = 0;
+};
+
+// Integrates from (t0, y0) to t1 and returns y(t1).
+Tensor Integrate(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                 const SolveOptions& options = {}, SolveStats* stats = nullptr);
+
+// Integrates through the (strictly increasing) time grid and returns the
+// state at every grid point, including times[0] (= the initial state).
+std::vector<Tensor> IntegrateDense(const OdeFunc& f, Tensor y0,
+                                   const std::vector<Scalar>& times,
+                                   const SolveOptions& options = {},
+                                   SolveStats* stats = nullptr);
+
+}  // namespace diffode::ode
+
+#endif  // DIFFODE_ODE_SOLVER_H_

@@ -1,0 +1,90 @@
+#include "ode/stiff.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace diffode::ode {
+namespace {
+
+// Forward-difference Jacobian of f(t, .) at y, flattened to N x N.
+Tensor NumericJacobian(const OdeFunc& f, Scalar t, const Tensor& y,
+                       Scalar eps, SolveStats* stats) {
+  const Index n = y.numel();
+  Tensor base = f(t, y);
+  if (stats) stats->rhs_evals += 1 + n;
+  Tensor jac(Shape{n, n});
+  for (Index j = 0; j < n; ++j) {
+    Tensor yp = y;
+    const Scalar h = eps * std::max(std::fabs(y[j]), 1.0);
+    yp[j] += h;
+    Tensor fp = f(t, yp);
+    for (Index i = 0; i < n; ++i) jac.at(i, j) = (fp[i] - base[i]) / h;
+  }
+  return jac;
+}
+
+// Solves y_next = rhs_base + w * f(t_next, y_next) by Newton iteration,
+// starting from `guess`. w is the implicit weight (h for backward Euler,
+// h/2 for trapezoidal).
+Tensor SolveImplicitStage(const OdeFunc& f, Scalar t_next,
+                          const Tensor& rhs_base, Scalar w,
+                          const Tensor& guess, const StiffOptions& options,
+                          SolveStats* stats) {
+  const Index n = guess.numel();
+  Tensor y = guess;
+  Tensor jac = NumericJacobian(f, t_next, y, options.fd_eps, stats);
+  // Newton matrix M = I - w J, factored once per step.
+  Tensor m = Tensor::Eye(n) - jac * w;
+  for (int it = 0; it < options.max_newton_iters; ++it) {
+    Tensor fy = f(t_next, y);
+    if (stats) stats->rhs_evals += 1;
+    // Residual g(y) = y - rhs_base - w f(y).
+    Tensor residual = y - rhs_base - fy * w;
+    if (residual.MaxAbs() < options.newton_tol) break;
+    Tensor delta =
+        linalg::Solve(m, residual.Reshaped(Shape{n, 1}));
+    y -= delta.Reshaped(y.shape());
+  }
+  return y;
+}
+
+}  // namespace
+
+Tensor ImplicitEulerIntegrate(const OdeFunc& f, Tensor y0, Scalar t0,
+                              Scalar t1, const StiffOptions& options,
+                              SolveStats* stats) {
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  const Scalar h_mag = std::fabs(options.step);
+  DIFFODE_CHECK_GT(h_mag, 0.0);
+  Scalar t = t0;
+  Tensor y = std::move(y0);
+  while (direction * (t1 - t) > 1e-14) {
+    const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
+    y = SolveImplicitStage(f, t + h, y, h, y, options, stats);
+    t += h;
+    if (stats) stats->steps += 1;
+  }
+  return y;
+}
+
+Tensor TrapezoidalIntegrate(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                            const StiffOptions& options, SolveStats* stats) {
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  const Scalar h_mag = std::fabs(options.step);
+  DIFFODE_CHECK_GT(h_mag, 0.0);
+  Scalar t = t0;
+  Tensor y = std::move(y0);
+  while (direction * (t1 - t) > 1e-14) {
+    const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
+    Tensor fy = f(t, y);
+    if (stats) stats->rhs_evals += 1;
+    Tensor rhs_base = y + fy * (h / 2.0);
+    y = SolveImplicitStage(f, t + h, rhs_base, h / 2.0, y, options, stats);
+    t += h;
+    if (stats) stats->steps += 1;
+  }
+  return y;
+}
+
+}  // namespace diffode::ode

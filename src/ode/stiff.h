@@ -1,0 +1,38 @@
+#ifndef DIFFODE_ODE_STIFF_H_
+#define DIFFODE_ODE_STIFF_H_
+
+#include "ode/solver.h"
+
+namespace diffode::ode {
+
+// Implicit solvers for stiff systems — the regime where the explicit
+// methods in solver.h need impractically small steps (e.g. the raw
+// HiPPO-LegS block, DESIGN.md §5.1). Each step solves its implicit
+// equation with a damped Newton iteration; the Jacobian of f is formed by
+// forward differences and factored with LU.
+
+struct StiffOptions {
+  Scalar step = 0.1;
+  int max_newton_iters = 8;
+  Scalar newton_tol = 1e-10;
+  // Re-evaluate the Jacobian once per step (true) or reuse across Newton
+  // iterations only (false keeps it for the whole step anyway; placeholder
+  // for future modified-Newton variants).
+  Scalar fd_eps = 1e-7;
+};
+
+// Backward (implicit) Euler: y_{k+1} = y_k + h f(t_{k+1}, y_{k+1}).
+// A-stable, first order.
+Tensor ImplicitEulerIntegrate(const OdeFunc& f, Tensor y0, Scalar t0,
+                              Scalar t1, const StiffOptions& options = {},
+                              SolveStats* stats = nullptr);
+
+// Trapezoidal rule: y_{k+1} = y_k + h/2 (f(t_k, y_k) + f(t_{k+1}, y_{k+1})).
+// A-stable, second order.
+Tensor TrapezoidalIntegrate(const OdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
+                            const StiffOptions& options = {},
+                            SolveStats* stats = nullptr);
+
+}  // namespace diffode::ode
+
+#endif  // DIFFODE_ODE_STIFF_H_

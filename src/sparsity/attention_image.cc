@@ -1,0 +1,37 @@
+#include "sparsity/attention_image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace diffode::sparsity {
+
+bool WriteAttentionPgm(const std::vector<Tensor>& rows,
+                       const std::string& path, int magnify) {
+  if (rows.empty() || magnify < 1) return false;
+  const Index n = rows.front().numel();
+  for (const auto& r : rows)
+    if (r.numel() != n) return false;
+  Scalar max_abs = 1e-12;
+  for (const auto& r : rows) max_abs = std::max(max_abs, r.MaxAbs());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const Index width = n * magnify;
+  const Index height = static_cast<Index>(rows.size()) * magnify;
+  out << "P5\n" << width << " " << height << "\n255\n";
+  for (const auto& r : rows) {
+    std::string line(static_cast<std::size_t>(width), '\0');
+    for (Index j = 0; j < n; ++j) {
+      // Dark = large attention (as in the paper's gray maps).
+      const Scalar v = std::fabs(r[j]) / max_abs;
+      const char pixel = static_cast<char>(
+          255 - static_cast<int>(std::round(v * 255.0)));
+      for (int m = 0; m < magnify; ++m)
+        line[static_cast<std::size_t>(j * magnify + m)] = pixel;
+    }
+    for (int m = 0; m < magnify; ++m) out.write(line.data(), width);
+  }
+  return bool(out);
+}
+
+}  // namespace diffode::sparsity

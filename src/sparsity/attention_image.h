@@ -1,0 +1,20 @@
+#ifndef DIFFODE_SPARSITY_ATTENTION_IMAGE_H_
+#define DIFFODE_SPARSITY_ATTENTION_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::sparsity {
+
+// Renders a stack of attention rows (each 1 x n) as a gray-scale PGM image,
+// one image row per attention vector — the machine-readable counterpart of
+// the paper's Fig. 3 maps. |p| is normalized per image; `magnify` scales
+// each logical cell to a magnify x magnify pixel block.
+bool WriteAttentionPgm(const std::vector<Tensor>& rows,
+                       const std::string& path, int magnify = 4);
+
+}  // namespace diffode::sparsity
+
+#endif  // DIFFODE_SPARSITY_ATTENTION_IMAGE_H_

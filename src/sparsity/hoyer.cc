@@ -1,0 +1,38 @@
+#include "sparsity/hoyer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace diffode::sparsity {
+
+Scalar Hoyer(const Tensor& x) {
+  const Index n = x.numel();
+  DIFFODE_CHECK_GT(n, 1);
+  const Scalar sqrt_n = std::sqrt(static_cast<Scalar>(n));
+  const Scalar norm = x.Norm();
+  if (norm == 0.0) return 0.0;
+  return (sqrt_n - x.Sum() / norm) / (sqrt_n - 1.0);
+}
+
+Scalar HoyerAbs(const Tensor& x) {
+  return Hoyer(x.Map([](Scalar v) { return std::fabs(v); }));
+}
+
+Index EffectiveSupport(const Tensor& x, Scalar mass) {
+  std::vector<Scalar> mags(static_cast<std::size_t>(x.numel()));
+  for (Index i = 0; i < x.numel(); ++i)
+    mags[static_cast<std::size_t>(i)] = std::fabs(x[i]);
+  std::sort(mags.begin(), mags.end(), std::greater<Scalar>());
+  Scalar total = 0.0;
+  for (Scalar m : mags) total += m;
+  if (total == 0.0) return 0;
+  Scalar acc = 0.0;
+  for (std::size_t k = 0; k < mags.size(); ++k) {
+    acc += mags[k];
+    if (acc >= mass * total) return static_cast<Index>(k + 1);
+  }
+  return x.numel();
+}
+
+}  // namespace diffode::sparsity

@@ -1,0 +1,26 @@
+#ifndef DIFFODE_SPARSITY_HOYER_H_
+#define DIFFODE_SPARSITY_HOYER_H_
+
+#include "tensor/tensor.h"
+
+namespace diffode::sparsity {
+
+// Hoyer sparsity metric (Hurley & Rickard 2009), in the exact form of the
+// paper's Eq. 14:
+//   Hoyer(x) = (sqrt(N) - sum(x) / ||x||_2) / (sqrt(N) - 1).
+// 1 means maximally sparse (single spike), 0 means perfectly uniform.
+// The paper applies it to softmax outputs (non-negative, sum 1); with the
+// relaxed negative-probability solution the signed sum is used as written.
+Scalar Hoyer(const Tensor& x);
+
+// Conventional variant on |x| — agrees with Hoyer() for non-negative input.
+Scalar HoyerAbs(const Tensor& x);
+
+// Effective support size: the smallest k such that the k largest |x_i|
+// account for `mass` (default 90%) of the total |x| mass. A scalar summary
+// of the gray-scale attention maps in the paper's Fig. 3.
+Index EffectiveSupport(const Tensor& x, Scalar mass = 0.9);
+
+}  // namespace diffode::sparsity
+
+#endif  // DIFFODE_SPARSITY_HOYER_H_

@@ -1,0 +1,37 @@
+#ifndef DIFFODE_TENSOR_CHECK_H_
+#define DIFFODE_TENSOR_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal-assertion macros for programmer errors (shape mismatches, index
+// bounds, numerical preconditions). The library does not throw across its
+// public API; violated contracts terminate with a source location, matching
+// the CHECK idiom used by large C++ database codebases.
+
+#define DIFFODE_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DIFFODE_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define DIFFODE_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DIFFODE_CHECK failed at %s:%d: %s (%s)\n",    \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define DIFFODE_CHECK_EQ(a, b) DIFFODE_CHECK((a) == (b))
+#define DIFFODE_CHECK_NE(a, b) DIFFODE_CHECK((a) != (b))
+#define DIFFODE_CHECK_LT(a, b) DIFFODE_CHECK((a) < (b))
+#define DIFFODE_CHECK_LE(a, b) DIFFODE_CHECK((a) <= (b))
+#define DIFFODE_CHECK_GT(a, b) DIFFODE_CHECK((a) > (b))
+#define DIFFODE_CHECK_GE(a, b) DIFFODE_CHECK((a) >= (b))
+
+#endif  // DIFFODE_TENSOR_CHECK_H_

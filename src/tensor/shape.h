@@ -1,0 +1,63 @@
+#ifndef DIFFODE_TENSOR_SHAPE_H_
+#define DIFFODE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace diffode {
+
+using Index = std::int64_t;
+
+// Dense row-major tensor extents. Rank 0 (scalar) through rank 3 are used in
+// practice; higher ranks are accepted but unused by the library.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<Index> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<Index> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  Index rank() const { return static_cast<Index>(dims_.size()); }
+
+  Index dim(Index i) const {
+    DIFFODE_CHECK_GE(i, 0);
+    DIFFODE_CHECK_LT(i, rank());
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  Index numel() const {
+    Index n = 1;
+    for (Index d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<Index>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void Validate() const {
+    for (Index d : dims_) DIFFODE_CHECK_GE(d, 0);
+  }
+
+  std::vector<Index> dims_;
+};
+
+}  // namespace diffode
+
+#endif  // DIFFODE_TENSOR_SHAPE_H_

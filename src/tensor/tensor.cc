@@ -1,0 +1,297 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace diffode {
+
+Tensor Tensor::Full(Shape shape, Scalar value) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = value;
+  return t;
+}
+
+Tensor Tensor::Eye(Index n) {
+  Tensor t(Shape{n, n});
+  for (Index i = 0; i < n; ++i) t.at(i, i) = 1.0;
+  return t;
+}
+
+Tensor Tensor::FromScalar(Scalar value) {
+  Tensor t(Shape{});
+  t.data_ = {value};
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<Scalar>& values) {
+  return Tensor(Shape{static_cast<Index>(values.size())}, values);
+}
+
+Tensor Tensor::RowVector(const std::vector<Scalar>& values) {
+  return Tensor(Shape{1, static_cast<Index>(values.size())}, values);
+}
+
+Tensor Tensor::ColVector(const std::vector<Scalar>& values) {
+  return Tensor(Shape{static_cast<Index>(values.size()), 1}, values);
+}
+
+Tensor Tensor::FromRows(Index rows, Index cols,
+                        const std::vector<Scalar>& values) {
+  return Tensor(Shape{rows, cols}, values);
+}
+
+Index Tensor::rows() const {
+  if (rank() == 1) return 1;
+  DIFFODE_CHECK_EQ(rank(), 2);
+  return shape_.dim(0);
+}
+
+Index Tensor::cols() const {
+  if (rank() == 1) return shape_.dim(0);
+  DIFFODE_CHECK_EQ(rank(), 2);
+  return shape_.dim(1);
+}
+
+Scalar& Tensor::at(Index r, Index c) {
+  DIFFODE_CHECK_GE(r, 0);
+  DIFFODE_CHECK_LT(r, rows());
+  DIFFODE_CHECK_GE(c, 0);
+  DIFFODE_CHECK_LT(c, cols());
+  return data_[static_cast<std::size_t>(r * cols() + c)];
+}
+
+Scalar Tensor::at(Index r, Index c) const {
+  DIFFODE_CHECK_GE(r, 0);
+  DIFFODE_CHECK_LT(r, rows());
+  DIFFODE_CHECK_GE(c, 0);
+  DIFFODE_CHECK_LT(c, cols());
+  return data_[static_cast<std::size_t>(r * cols() + c)];
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator+= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator-= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator*= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(Scalar v) {
+  for (auto& x : data_) x += v;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(Scalar v) {
+  for (auto& x : data_) x *= v;
+  return *this;
+}
+
+Tensor Tensor::operator-() const {
+  Tensor out = *this;
+  for (auto& x : out.data_) x = -x;
+  return out;
+}
+
+Tensor Tensor::CwiseQuotient(const Tensor& other) const {
+  DIFFODE_CHECK_MSG(shape_ == other.shape_, "CwiseQuotient shape mismatch");
+  Tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] /= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::Map(const std::function<Scalar(Scalar)>& fn) const {
+  Tensor out = *this;
+  for (auto& x : out.data_) x = fn(x);
+  return out;
+}
+
+Tensor Tensor::MatMul(const Tensor& other) const {
+  const Index m = rows();
+  const Index k = cols();
+  DIFFODE_CHECK_MSG(other.rows() == k, "MatMul inner-dimension mismatch");
+  const Index n = other.cols();
+  Tensor out(Shape{m, n});
+  const Scalar* a = data();
+  const Scalar* b = other.data();
+  Scalar* c = out.data();
+  // i-k-j loop order keeps the inner loop contiguous in both b and c.
+  for (Index i = 0; i < m; ++i) {
+    for (Index p = 0; p < k; ++p) {
+      const Scalar aip = a[i * k + p];
+      if (aip == 0.0) continue;
+      const Scalar* brow = b + p * n;
+      Scalar* crow = c + i * n;
+      for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Transposed() const {
+  const Index r = rows();
+  const Index c = cols();
+  Tensor out(Shape{c, r});
+  for (Index i = 0; i < r; ++i)
+    for (Index j = 0; j < c; ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+Tensor Tensor::Reshaped(Shape shape) const {
+  DIFFODE_CHECK_EQ(shape.numel(), numel());
+  return Tensor(std::move(shape), data_);
+}
+
+Scalar Tensor::Sum() const {
+  Scalar s = 0.0;
+  for (Scalar x : data_) s += x;
+  return s;
+}
+
+Scalar Tensor::Mean() const {
+  DIFFODE_CHECK_GT(numel(), 0);
+  return Sum() / static_cast<Scalar>(numel());
+}
+
+Scalar Tensor::MaxAbs() const {
+  Scalar m = 0.0;
+  for (Scalar x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Scalar Tensor::Max() const {
+  DIFFODE_CHECK_GT(numel(), 0);
+  Scalar m = data_[0];
+  for (Scalar x : data_) m = std::max(m, x);
+  return m;
+}
+
+Scalar Tensor::Norm() const {
+  Scalar s = 0.0;
+  for (Scalar x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+Scalar Tensor::Dot(const Tensor& other) const {
+  DIFFODE_CHECK_EQ(numel(), other.numel());
+  Scalar s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+Tensor Tensor::RowSums() const {
+  const Index r = rows();
+  const Index c = cols();
+  Tensor out(Shape{r, 1});
+  for (Index i = 0; i < r; ++i) {
+    Scalar s = 0.0;
+    for (Index j = 0; j < c; ++j) s += at(i, j);
+    out.at(i, 0) = s;
+  }
+  return out;
+}
+
+Tensor Tensor::ColSums() const {
+  const Index r = rows();
+  const Index c = cols();
+  Tensor out(Shape{1, c});
+  for (Index j = 0; j < c; ++j) {
+    Scalar s = 0.0;
+    for (Index i = 0; i < r; ++i) s += at(i, j);
+    out.at(0, j) = s;
+  }
+  return out;
+}
+
+Tensor Tensor::Row(Index r) const { return Rows(r, 1); }
+
+Tensor Tensor::Rows(Index begin, Index count) const {
+  DIFFODE_CHECK_GE(begin, 0);
+  DIFFODE_CHECK_GE(count, 0);
+  DIFFODE_CHECK_LE(begin + count, rows());
+  const Index c = cols();
+  Tensor out(Shape{count, c});
+  for (Index i = 0; i < count; ++i)
+    for (Index j = 0; j < c; ++j) out.at(i, j) = at(begin + i, j);
+  return out;
+}
+
+Tensor Tensor::Col(Index c) const {
+  DIFFODE_CHECK_GE(c, 0);
+  DIFFODE_CHECK_LT(c, cols());
+  const Index r = rows();
+  Tensor out(Shape{r, 1});
+  for (Index i = 0; i < r; ++i) out.at(i, 0) = at(i, c);
+  return out;
+}
+
+void Tensor::SetRow(Index r, const Tensor& row) {
+  DIFFODE_CHECK_EQ(row.numel(), cols());
+  for (Index j = 0; j < cols(); ++j) at(r, j) = row[j];
+}
+
+Tensor Tensor::ConcatRows(const std::vector<Tensor>& parts) {
+  DIFFODE_CHECK(!parts.empty());
+  const Index c = parts[0].cols();
+  Index total = 0;
+  for (const auto& p : parts) {
+    DIFFODE_CHECK_EQ(p.cols(), c);
+    total += p.rows();
+  }
+  Tensor out(Shape{total, c});
+  Index r = 0;
+  for (const auto& p : parts) {
+    for (Index i = 0; i < p.rows(); ++i)
+      for (Index j = 0; j < c; ++j) out.at(r + i, j) = p.at(i, j);
+    r += p.rows();
+  }
+  return out;
+}
+
+Tensor Tensor::ConcatCols(const std::vector<Tensor>& parts) {
+  DIFFODE_CHECK(!parts.empty());
+  const Index r = parts[0].rows();
+  Index total = 0;
+  for (const auto& p : parts) {
+    DIFFODE_CHECK_EQ(p.rows(), r);
+    total += p.cols();
+  }
+  Tensor out(Shape{r, total});
+  Index c = 0;
+  for (const auto& p : parts) {
+    for (Index i = 0; i < r; ++i)
+      for (Index j = 0; j < p.cols(); ++j) out.at(i, c + j) = p.at(i, j);
+    c += p.cols();
+  }
+  return out;
+}
+
+bool Tensor::AllFinite() const {
+  for (Scalar x : data_)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+std::string Tensor::ToString(int max_per_dim) const {
+  std::string s = "Tensor" + shape_.ToString() + " {";
+  char buf[32];
+  const Index limit = std::min<Index>(numel(), max_per_dim * max_per_dim);
+  for (Index i = 0; i < limit; ++i) {
+    std::snprintf(buf, sizeof(buf), "%.5g", data_[static_cast<std::size_t>(i)]);
+    if (i > 0) s += ", ";
+    s += buf;
+  }
+  if (limit < numel()) s += ", ...";
+  return s + "}";
+}
+
+}  // namespace diffode

@@ -1,0 +1,136 @@
+#ifndef DIFFODE_TENSOR_TENSOR_H_
+#define DIFFODE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/shape.h"
+
+namespace diffode {
+
+using Scalar = double;
+
+// Dense row-major tensor of doubles. Value-semantic: copies copy the buffer.
+// This is the numeric substrate for the autograd tape, the ODE solvers, and
+// every model in the repository; it is deliberately small and predictable
+// rather than clever (no views, no lazy evaluation, no broadcasting beyond
+// the few forms models need).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0) {}
+  Tensor(Shape shape, std::vector<Scalar> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    DIFFODE_CHECK_EQ(shape_.numel(), static_cast<Index>(data_.size()));
+  }
+
+  // Factories.
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0); }
+  static Tensor Full(Shape shape, Scalar value);
+  static Tensor Eye(Index n);
+  static Tensor FromScalar(Scalar value);
+  // Rank-1 tensor from values.
+  static Tensor FromVector(const std::vector<Scalar>& values);
+  // 1 x n and n x 1 matrices from values.
+  static Tensor RowVector(const std::vector<Scalar>& values);
+  static Tensor ColVector(const std::vector<Scalar>& values);
+  // r x c matrix from row-major values.
+  static Tensor FromRows(Index rows, Index cols,
+                         const std::vector<Scalar>& values);
+
+  // Metadata.
+  const Shape& shape() const { return shape_; }
+  Index rank() const { return shape_.rank(); }
+  Index numel() const { return shape_.numel(); }
+  bool empty() const { return data_.empty(); }
+  // 2-D conveniences; a rank-1 tensor is treated as a single row.
+  Index rows() const;
+  Index cols() const;
+
+  // Raw element access.
+  Scalar* data() { return data_.data(); }
+  const Scalar* data() const { return data_.data(); }
+  const std::vector<Scalar>& values() const { return data_; }
+
+  Scalar& operator[](Index i) {
+    DIFFODE_CHECK_GE(i, 0);
+    DIFFODE_CHECK_LT(i, numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  Scalar operator[](Index i) const {
+    DIFFODE_CHECK_GE(i, 0);
+    DIFFODE_CHECK_LT(i, numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  Scalar& at(Index r, Index c);
+  Scalar at(Index r, Index c) const;
+  // Value of a single-element tensor.
+  Scalar item() const {
+    DIFFODE_CHECK_EQ(numel(), 1);
+    return data_[0];
+  }
+
+  // Elementwise arithmetic (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+  Tensor& operator+=(Scalar v);
+  Tensor& operator*=(Scalar v);
+
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+  friend Tensor operator+(Tensor a, Scalar v) { return a += v; }
+  friend Tensor operator+(Scalar v, Tensor a) { return a += v; }
+  friend Tensor operator-(Tensor a, Scalar v) { return a += -v; }
+  friend Tensor operator*(Tensor a, Scalar v) { return a *= v; }
+  friend Tensor operator*(Scalar v, Tensor a) { return a *= v; }
+  friend Tensor operator/(Tensor a, Scalar v) { return a *= (1.0 / v); }
+  Tensor operator-() const;
+  Tensor CwiseQuotient(const Tensor& other) const;
+
+  // Applies fn to every element, returning a new tensor.
+  Tensor Map(const std::function<Scalar(Scalar)>& fn) const;
+
+  // Linear algebra (2-D unless noted; rank-1 operands act as single rows).
+  Tensor MatMul(const Tensor& other) const;
+  Tensor Transposed() const;
+  Tensor Reshaped(Shape shape) const;
+
+  // Reductions.
+  Scalar Sum() const;
+  Scalar Mean() const;
+  Scalar MaxAbs() const;
+  Scalar Max() const;
+  Scalar Norm() const;  // Frobenius / L2.
+  Scalar Dot(const Tensor& other) const;
+  Tensor RowSums() const;  // (r x c) -> (r x 1)
+  Tensor ColSums() const;  // (r x c) -> (1 x c)
+
+  // Row slicing for 2-D tensors.
+  Tensor Row(Index r) const;                   // 1 x c
+  Tensor Rows(Index begin, Index count) const; // count x c
+  Tensor Col(Index c) const;                   // r x 1
+  void SetRow(Index r, const Tensor& row);
+
+  // Concatenation of 2-D blocks.
+  static Tensor ConcatRows(const std::vector<Tensor>& parts);
+  static Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+  bool AllFinite() const;
+  std::string ToString(int max_per_dim = 8) const;
+
+ private:
+  Shape shape_;
+  std::vector<Scalar> data_;
+};
+
+}  // namespace diffode
+
+#endif  // DIFFODE_TENSOR_TENSOR_H_

@@ -1,0 +1,132 @@
+#include "train/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace diffode::train {
+
+RegressionMetrics::RegressionMetrics(Index num_channels)
+    : num_channels_(num_channels),
+      abs_sum_(static_cast<std::size_t>(num_channels), 0.0),
+      sq_sum_(static_cast<std::size_t>(num_channels), 0.0),
+      counts_(static_cast<std::size_t>(num_channels), 0.0) {}
+
+void RegressionMetrics::Add(const Tensor& prediction, const Tensor& target,
+                            const Tensor& mask) {
+  DIFFODE_CHECK(prediction.shape() == target.shape());
+  DIFFODE_CHECK(prediction.shape() == mask.shape());
+  DIFFODE_CHECK_EQ(prediction.cols(), num_channels_);
+  for (Index i = 0; i < prediction.rows(); ++i) {
+    for (Index j = 0; j < num_channels_; ++j) {
+      if (mask.at(i, j) <= 0) continue;
+      const Scalar err = prediction.at(i, j) - target.at(i, j);
+      abs_sum_[static_cast<std::size_t>(j)] += std::fabs(err);
+      sq_sum_[static_cast<std::size_t>(j)] += err * err;
+      counts_[static_cast<std::size_t>(j)] += 1.0;
+      total_abs_ += std::fabs(err);
+      total_sq_ += err * err;
+      total_count_ += 1.0;
+    }
+  }
+}
+
+Scalar RegressionMetrics::Mae() const {
+  return total_count_ > 0 ? total_abs_ / total_count_ : 0.0;
+}
+
+Scalar RegressionMetrics::Rmse() const {
+  return total_count_ > 0 ? std::sqrt(total_sq_ / total_count_) : 0.0;
+}
+
+Scalar RegressionMetrics::ChannelMae(Index channel) const {
+  const auto c = static_cast<std::size_t>(channel);
+  return counts_[c] > 0 ? abs_sum_[c] / counts_[c] : 0.0;
+}
+
+Scalar RegressionMetrics::ChannelRmse(Index channel) const {
+  const auto c = static_cast<std::size_t>(channel);
+  return counts_[c] > 0 ? std::sqrt(sq_sum_[c] / counts_[c]) : 0.0;
+}
+
+std::string RegressionMetrics::Report() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "MAE %.4f  RMSE %.4f  (n=%lld)\n", Mae(),
+                Rmse(), static_cast<long long>(count()));
+  std::string out = buf;
+  for (Index j = 0; j < num_channels_; ++j) {
+    std::snprintf(buf, sizeof(buf), "  ch%-3lld MAE %.4f  RMSE %.4f\n",
+                  static_cast<long long>(j), ChannelMae(j), ChannelRmse(j));
+    out += buf;
+  }
+  return out;
+}
+
+ConfusionMatrix::ConfusionMatrix(Index num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes * num_classes), 0) {}
+
+void ConfusionMatrix::Add(Index predicted, Index actual) {
+  DIFFODE_CHECK_GE(predicted, 0);
+  DIFFODE_CHECK_LT(predicted, num_classes_);
+  DIFFODE_CHECK_GE(actual, 0);
+  DIFFODE_CHECK_LT(actual, num_classes_);
+  ++cells_[static_cast<std::size_t>(predicted * num_classes_ + actual)];
+  ++total_;
+}
+
+Index ConfusionMatrix::At(Index predicted, Index actual) const {
+  return cells_[static_cast<std::size_t>(predicted * num_classes_ + actual)];
+}
+
+Scalar ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  Index correct = 0;
+  for (Index c = 0; c < num_classes_; ++c) correct += At(c, c);
+  return static_cast<Scalar>(correct) / static_cast<Scalar>(total_);
+}
+
+Scalar ConfusionMatrix::Precision(Index cls) const {
+  Index predicted = 0;
+  for (Index a = 0; a < num_classes_; ++a) predicted += At(cls, a);
+  return predicted > 0
+             ? static_cast<Scalar>(At(cls, cls)) / static_cast<Scalar>(predicted)
+             : 0.0;
+}
+
+Scalar ConfusionMatrix::Recall(Index cls) const {
+  Index actual = 0;
+  for (Index p = 0; p < num_classes_; ++p) actual += At(p, cls);
+  return actual > 0
+             ? static_cast<Scalar>(At(cls, cls)) / static_cast<Scalar>(actual)
+             : 0.0;
+}
+
+Scalar ConfusionMatrix::F1(Index cls) const {
+  const Scalar p = Precision(cls);
+  const Scalar r = Recall(cls);
+  return p + r > 0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+Scalar ConfusionMatrix::MacroF1() const {
+  Scalar sum = 0.0;
+  for (Index c = 0; c < num_classes_; ++c) sum += F1(c);
+  return num_classes_ > 0 ? sum / static_cast<Scalar>(num_classes_) : 0.0;
+}
+
+std::string ConfusionMatrix::Report() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "accuracy %.4f  macro-F1 %.4f  (n=%lld)\n",
+                Accuracy(), MacroF1(), static_cast<long long>(total_));
+  std::string out = buf;
+  for (Index p = 0; p < num_classes_; ++p) {
+    out += "  ";
+    for (Index a = 0; a < num_classes_; ++a) {
+      std::snprintf(buf, sizeof(buf), "%8lld", static_cast<long long>(At(p, a)));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace diffode::train

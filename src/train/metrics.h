@@ -1,0 +1,67 @@
+#ifndef DIFFODE_TRAIN_METRICS_H_
+#define DIFFODE_TRAIN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace diffode::train {
+
+// Masked regression error report: aggregate and per-channel MAE / RMSE,
+// accumulated incrementally over (prediction, target, mask) rows.
+class RegressionMetrics {
+ public:
+  explicit RegressionMetrics(Index num_channels);
+
+  // All three are 1 x f rows (or equal-shape blocks processed row-wise).
+  void Add(const Tensor& prediction, const Tensor& target,
+           const Tensor& mask);
+
+  Index count() const { return static_cast<Index>(total_count_); }
+  Scalar Mae() const;
+  Scalar Rmse() const;
+  Scalar Mse() const { return Rmse() * Rmse(); }
+  Scalar ChannelMae(Index channel) const;
+  Scalar ChannelRmse(Index channel) const;
+
+  std::string Report() const;
+
+ private:
+  Index num_channels_;
+  std::vector<Scalar> abs_sum_;
+  std::vector<Scalar> sq_sum_;
+  std::vector<Scalar> counts_;
+  Scalar total_abs_ = 0.0;
+  Scalar total_sq_ = 0.0;
+  Scalar total_count_ = 0.0;
+};
+
+// Binary / multiclass confusion matrix with the derived summary scores.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(Index num_classes);
+
+  void Add(Index predicted, Index actual);
+
+  Index count() const { return total_; }
+  Scalar Accuracy() const;
+  // One-vs-rest precision / recall / F1 for a class.
+  Scalar Precision(Index cls) const;
+  Scalar Recall(Index cls) const;
+  Scalar F1(Index cls) const;
+  // Unweighted mean F1 over classes (macro-F1).
+  Scalar MacroF1() const;
+  Index At(Index predicted, Index actual) const;
+
+  std::string Report() const;
+
+ private:
+  Index num_classes_;
+  std::vector<Index> cells_;  // predicted * num_classes + actual
+  Index total_ = 0;
+};
+
+}  // namespace diffode::train
+
+#endif  // DIFFODE_TRAIN_METRICS_H_

@@ -1,0 +1,27 @@
+#ifndef DIFFODE_TRAIN_TIMER_H_
+#define DIFFODE_TRAIN_TIMER_H_
+
+#include <chrono>
+
+namespace diffode::train {
+
+// Simple wall-clock timer for the efficiency experiments (Table V, Fig. 4).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace diffode::train
+
+#endif  // DIFFODE_TRAIN_TIMER_H_

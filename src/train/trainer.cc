@@ -1,0 +1,255 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "nn/optimizer.h"
+#include "train/timer.h"
+
+namespace diffode::train {
+namespace {
+
+Index CappedSize(const std::vector<data::IrregularSeries>& split, Index cap) {
+  const Index n = static_cast<Index>(split.size());
+  return cap < 0 ? n : std::min(cap, n);
+}
+
+// Builds the (times, values, mask) triple for the rows of `view.target`
+// that hold at least one held-out entry.
+struct TargetRows {
+  std::vector<Scalar> times;
+  Tensor values;
+  Tensor mask;
+  bool empty = true;
+};
+
+TargetRows CollectTargets(const data::TaskView& view) {
+  const auto& t = view.target;
+  std::vector<Index> rows;
+  for (Index i = 0; i < t.length(); ++i) {
+    bool any = false;
+    for (Index j = 0; j < t.num_features(); ++j)
+      if (t.mask.at(i, j) > 0) any = true;
+    if (any) rows.push_back(i);
+  }
+  TargetRows out;
+  if (rows.empty()) return out;
+  out.empty = false;
+  const Index m = static_cast<Index>(rows.size());
+  const Index f = t.num_features();
+  out.values = Tensor(Shape{m, f});
+  out.mask = Tensor(Shape{m, f});
+  for (Index k = 0; k < m; ++k) {
+    out.times.push_back(t.times[static_cast<std::size_t>(rows[k])]);
+    for (Index j = 0; j < f; ++j) {
+      out.values.at(k, j) = t.values.at(rows[k], j);
+      out.mask.at(k, j) = t.mask.at(rows[k], j);
+    }
+  }
+  return out;
+}
+
+data::TaskView MakeView(const data::IrregularSeries& s, RegressionTask task,
+                        Scalar target_frac, Rng& rng) {
+  return task == RegressionTask::kInterpolation
+             ? data::MakeInterpolationView(s, target_frac, rng)
+             : data::MakeExtrapolationView(s);
+}
+
+}  // namespace
+
+Scalar EvaluateAccuracy(core::SequenceModel* model,
+                        const std::vector<data::IrregularSeries>& split,
+                        Index max_samples) {
+  const Index n = CappedSize(split, max_samples);
+  if (n == 0) return 0.0;
+  Index correct = 0;
+  for (Index i = 0; i < n; ++i) {
+    const auto& s = split[static_cast<std::size_t>(i)];
+    ag::Var logits = model->ClassifyLogits(s);
+    Index best = 0;
+    for (Index c = 1; c < logits.cols(); ++c)
+      if (logits.value().at(0, c) > logits.value().at(0, best)) best = c;
+    if (best == s.label) ++correct;
+  }
+  return static_cast<Scalar>(correct) / static_cast<Scalar>(n);
+}
+
+FitResult TrainClassifier(core::SequenceModel* model,
+                          const data::Dataset& dataset,
+                          const TrainOptions& options) {
+  Rng rng(options.seed);
+  std::vector<ag::Var> params = model->Params();
+  nn::Adam optimizer(params, options.lr, options.weight_decay);
+  FitResult result;
+  Scalar best_val = -1.0;
+  std::vector<Tensor> best_snapshot;
+  Index stale = 0;
+  WallTimer total;
+  std::vector<Index> order(
+      static_cast<std::size_t>(CappedSize(dataset.train, options.max_train_samples)));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<Index>(i);
+  for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    Scalar epoch_loss = 0.0;
+    Index in_batch = 0;
+    optimizer.ZeroGrad();
+    for (Index idx : order) {
+      const auto& s = dataset.train[static_cast<std::size_t>(idx)];
+      ag::Var logits = model->ClassifyLogits(s);
+      ag::Var loss = ag::SoftmaxCrossEntropy(logits, {s.label});
+      ag::Var aux = model->TakeAuxiliaryLoss();
+      if (aux.defined()) loss = ag::Add(loss, aux);
+      loss.Backward();
+      epoch_loss += loss.value().item();
+      if (++in_batch >= options.batch_size) {
+        optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
+        optimizer.ClipGradNorm(options.clip_norm);
+        optimizer.StepAndZero();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
+      optimizer.ClipGradNorm(options.clip_norm);
+      optimizer.StepAndZero();
+    }
+    epoch_loss /= static_cast<Scalar>(std::max<std::size_t>(order.size(), 1));
+    result.train_losses.push_back(epoch_loss);
+    result.epochs_run = epoch + 1;
+    const Scalar val_acc =
+        EvaluateAccuracy(model, dataset.val, options.max_eval_samples);
+    if (options.verbose) {
+      std::printf("[%s] epoch %lld loss %.4f val_acc %.3f\n",
+                  model->name().c_str(), static_cast<long long>(epoch),
+                  epoch_loss, val_acc);
+    }
+    if (val_acc > best_val + 1e-9) {
+      best_val = val_acc;
+      stale = 0;
+      best_snapshot.clear();
+      for (const auto& p : params) best_snapshot.push_back(p.value());
+    } else if (++stale >= options.patience) {
+      break;
+    }
+  }
+  // Restore the best-validation weights (early-stopping checkpoint).
+  if (!best_snapshot.empty()) {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i].mutable_value() = best_snapshot[i];
+  }
+  result.best_val_metric = best_val;
+  result.seconds_per_epoch =
+      total.Seconds() / static_cast<Scalar>(std::max<Index>(result.epochs_run, 1));
+  return result;
+}
+
+Scalar EvaluateMse(core::SequenceModel* model,
+                   const std::vector<data::IrregularSeries>& split,
+                   RegressionTask task, Scalar target_frac,
+                   std::uint64_t seed, Index max_samples) {
+  const Index n = CappedSize(split, max_samples);
+  Scalar sq_sum = 0.0;
+  Scalar count = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    Rng rng(seed + static_cast<std::uint64_t>(i) * 1315423911ull);
+    data::TaskView view =
+        MakeView(split[static_cast<std::size_t>(i)], task, target_frac, rng);
+    TargetRows targets = CollectTargets(view);
+    if (targets.empty || view.context.length() < 2) continue;
+    std::vector<ag::Var> preds = model->PredictAt(view.context, targets.times);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      for (Index j = 0; j < targets.values.cols(); ++j) {
+        if (targets.mask.at(static_cast<Index>(k), j) > 0) {
+          const Scalar diff = preds[k].value().at(0, j) -
+                              targets.values.at(static_cast<Index>(k), j);
+          sq_sum += diff * diff;
+          count += 1.0;
+        }
+      }
+    }
+  }
+  if (count == 0.0) return 0.0;
+  return sq_sum / count * kMseReportScale;
+}
+
+FitResult TrainRegressor(core::SequenceModel* model,
+                         const data::Dataset& dataset, RegressionTask task,
+                         const TrainOptions& options) {
+  Rng rng(options.seed);
+  std::vector<ag::Var> params = model->Params();
+  nn::Adam optimizer(params, options.lr, options.weight_decay);
+  FitResult result;
+  Scalar best_val = -1e300;  // -reported MSE
+  std::vector<Tensor> best_snapshot;
+  Index stale = 0;
+  WallTimer total;
+  const Index n_train = CappedSize(dataset.train, options.max_train_samples);
+  std::vector<Index> order(static_cast<std::size_t>(n_train));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<Index>(i);
+  for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    Scalar epoch_loss = 0.0;
+    Index contributing = 0;
+    Index in_batch = 0;
+    optimizer.ZeroGrad();
+    for (Index idx : order) {
+      data::TaskView view =
+          MakeView(dataset.train[static_cast<std::size_t>(idx)], task,
+                   options.interp_target_frac, rng);
+      TargetRows targets = CollectTargets(view);
+      if (targets.empty || view.context.length() < 2) continue;
+      std::vector<ag::Var> preds =
+          model->PredictAt(view.context, targets.times);
+      ag::Var pred_mat = ag::ConcatRows(preds);
+      ag::Var loss = ag::MaskedMseLoss(pred_mat, targets.values, targets.mask);
+      ag::Var aux = model->TakeAuxiliaryLoss();
+      if (aux.defined()) loss = ag::Add(loss, aux);
+      loss.Backward();
+      epoch_loss += loss.value().item();
+      ++contributing;
+      if (++in_batch >= options.batch_size) {
+        optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
+        optimizer.ClipGradNorm(options.clip_norm);
+        optimizer.StepAndZero();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
+      optimizer.ClipGradNorm(options.clip_norm);
+      optimizer.StepAndZero();
+    }
+    epoch_loss /= static_cast<Scalar>(std::max<Index>(contributing, 1));
+    result.train_losses.push_back(epoch_loss);
+    result.epochs_run = epoch + 1;
+    const Scalar val_mse =
+        EvaluateMse(model, dataset.val, task, options.interp_target_frac,
+                    options.seed + 1, options.max_eval_samples);
+    if (options.verbose) {
+      std::printf("[%s] epoch %lld loss %.5f val_mse(x1e-2) %.4f\n",
+                  model->name().c_str(), static_cast<long long>(epoch),
+                  epoch_loss, val_mse);
+    }
+    if (-val_mse > best_val + 1e-12) {
+      best_val = -val_mse;
+      stale = 0;
+      best_snapshot.clear();
+      for (const auto& p : params) best_snapshot.push_back(p.value());
+    } else if (++stale >= options.patience) {
+      break;
+    }
+  }
+  // Restore the best-validation weights (early-stopping checkpoint).
+  if (!best_snapshot.empty()) {
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i].mutable_value() = best_snapshot[i];
+  }
+  result.best_val_metric = best_val;
+  result.seconds_per_epoch =
+      total.Seconds() / static_cast<Scalar>(std::max<Index>(result.epochs_run, 1));
+  return result;
+}
+
+}  // namespace diffode::train

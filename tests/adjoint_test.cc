@@ -1,0 +1,119 @@
+#include "ode/adjoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/mlp.h"
+#include "tensor/random.h"
+
+namespace diffode::ode {
+namespace {
+
+TEST(AdjointTest, ForwardOnlyMatchesIntegrateVar) {
+  DiffOdeFunc f = [](Scalar, const ag::Var& y) { return ag::Neg(y); };
+  DiffSolveOptions options;
+  options.method = DiffMethod::kRk4;
+  options.step = 0.1;
+  Tensor y0 = Tensor::Full(Shape{1, 3}, 2.0);
+  Tensor fast = ForwardOnly(f, y0, 0.0, 1.5, options);
+  Tensor taped = IntegrateVar(f, ag::Constant(y0), 0.0, 1.5, options).value();
+  EXPECT_LT((fast - taped).MaxAbs(), 1e-14);
+}
+
+TEST(AdjointTest, Dy0MatchesUnrolledTapeLinearSystem) {
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{3, 3}, 0.0, 0.4);
+  ag::Var a_var = ag::Param(a);
+  DiffOdeFunc f = [&](Scalar, const ag::Var& y) {
+    return ag::MatMul(y, ag::Transpose(a_var));
+  };
+  DiffSolveOptions options;
+  options.method = DiffMethod::kRk4;
+  options.step = 0.1;
+  Tensor y0 = rng.NormalTensor(Shape{1, 3});
+  Tensor seed = rng.NormalTensor(Shape{1, 3});
+
+  // Unrolled tape reference.
+  a_var.ZeroGrad();
+  ag::Var y0_var = ag::Var(y0, /*requires_grad=*/true);
+  ag::Var y1 = IntegrateVar(f, y0_var, 0.0, 1.0, options);
+  y1.Backward(seed);
+  Tensor ref_dy0 = y0_var.grad();
+  Tensor ref_da = a_var.grad();
+
+  // Checkpointed adjoint.
+  a_var.ZeroGrad();
+  AdjointResult result = AdjointSolve(f, y0, 0.0, 1.0, seed, options);
+  EXPECT_LT((result.y1 - y1.value()).MaxAbs(), 1e-12);
+  EXPECT_LT((result.dy0 - ref_dy0).MaxAbs(), 1e-10);
+  EXPECT_LT((a_var.grad() - ref_da).MaxAbs(), 1e-10);
+}
+
+TEST(AdjointTest, MatchesUnrolledTapeThroughNeuralField) {
+  Rng rng(2);
+  nn::Mlp field({4, 8, 4}, rng);
+  DiffOdeFunc f = [&](Scalar, const ag::Var& y) {
+    return ag::Tanh(field.Forward(y));
+  };
+  DiffSolveOptions options;
+  options.method = DiffMethod::kMidpoint;
+  options.step = 0.2;
+  Tensor y0 = rng.NormalTensor(Shape{1, 4});
+  Tensor seed = rng.NormalTensor(Shape{1, 4});
+  auto params = field.Params();
+
+  for (auto& p : params) p.ZeroGrad();
+  ag::Var y0_var = ag::Var(y0, true);
+  IntegrateVar(f, y0_var, 0.0, 1.0, options).Backward(seed);
+  std::vector<Tensor> ref_grads;
+  for (auto& p : params) ref_grads.push_back(p.grad());
+  Tensor ref_dy0 = y0_var.grad();
+
+  for (auto& p : params) p.ZeroGrad();
+  AdjointResult result = AdjointSolve(f, y0, 0.0, 1.0, seed, options);
+  EXPECT_LT((result.dy0 - ref_dy0).MaxAbs(), 1e-10);
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_LT((params[i].grad() - ref_grads[i]).MaxAbs(), 1e-10) << i;
+}
+
+TEST(AdjointTest, AnalyticLinearDecayGradient) {
+  // y' = -k y: y(1) = y0 e^{-k}, so dL/dy0 = seed * e^{-k}.
+  const Scalar k = 0.7;
+  DiffOdeFunc f = [k](Scalar, const ag::Var& y) {
+    return ag::MulScalar(y, -k);
+  };
+  DiffSolveOptions options;
+  options.method = DiffMethod::kRk4;
+  options.step = 0.05;
+  Tensor y0 = Tensor::Full(Shape{1, 1}, 2.0);
+  Tensor seed = Tensor::Full(Shape{1, 1}, 1.0);
+  AdjointResult result = AdjointSolve(f, y0, 0.0, 1.0, seed, options);
+  EXPECT_NEAR(result.dy0.item(), std::exp(-k), 1e-7);
+}
+
+TEST(AdjointTest, BackwardTimeInterval) {
+  DiffOdeFunc f = [](Scalar, const ag::Var& y) { return ag::Neg(y); };
+  DiffSolveOptions options;
+  options.method = DiffMethod::kRk4;
+  options.step = 0.05;
+  Tensor y0 = Tensor::Ones(Shape{1, 1});
+  Tensor seed = Tensor::Ones(Shape{1, 1});
+  // Integrating backward in time: y(-1) = y0 * e^{1}; dy0 = e^{1}.
+  AdjointResult result = AdjointSolve(f, y0, 0.0, -1.0, seed, options);
+  EXPECT_NEAR(result.y1.item(), std::exp(1.0), 1e-6);
+  EXPECT_NEAR(result.dy0.item(), std::exp(1.0), 1e-6);
+}
+
+TEST(AdjointTest, ZeroIntervalIsIdentity) {
+  DiffOdeFunc f = [](Scalar, const ag::Var& y) { return ag::Neg(y); };
+  Tensor y0 = Tensor::Full(Shape{1, 2}, 3.0);
+  Tensor seed = Tensor::Ones(Shape{1, 2});
+  AdjointResult result = AdjointSolve(f, y0, 1.0, 1.0, seed);
+  EXPECT_EQ((result.y1 - y0).MaxAbs(), 0.0);
+  EXPECT_EQ((result.dy0 - seed).MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace diffode::ode

@@ -1,0 +1,120 @@
+#include "ode/cubic_spline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.h"
+
+namespace diffode::ode {
+namespace {
+
+TEST(CubicSplineTest, InterpolatesKnotsExactly) {
+  Rng rng(1);
+  std::vector<Scalar> times = {0.0, 0.7, 1.1, 2.5, 4.0};
+  Tensor values = rng.NormalTensor(Shape{5, 3});
+  CubicSpline spline(times, values);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    Tensor v = spline.Evaluate(times[i]);
+    for (Index j = 0; j < 3; ++j)
+      EXPECT_NEAR(v.at(0, j), values.at(static_cast<Index>(i), j), 1e-10);
+  }
+}
+
+TEST(CubicSplineTest, TwoPointsReducesToLine) {
+  std::vector<Scalar> times = {1.0, 3.0};
+  Tensor values = Tensor::FromRows(2, 1, {2.0, 6.0});
+  CubicSpline spline(times, values);
+  EXPECT_NEAR(spline.Evaluate(2.0).item(), 4.0, 1e-12);
+  EXPECT_NEAR(spline.Derivative(1.5).item(), 2.0, 1e-12);
+}
+
+TEST(CubicSplineTest, ReproducesCubicFreeOfEndEffectsInside) {
+  // A natural spline is exact for linear data everywhere.
+  std::vector<Scalar> times;
+  Tensor values(Shape{8, 1});
+  for (Index i = 0; i < 8; ++i) {
+    times.push_back(static_cast<Scalar>(i));
+    values.at(i, 0) = 3.0 * i - 1.0;
+  }
+  CubicSpline spline(times, values);
+  for (Scalar t = 0.25; t < 7.0; t += 0.5) {
+    EXPECT_NEAR(spline.Evaluate(t).item(), 3.0 * t - 1.0, 1e-10);
+    EXPECT_NEAR(spline.Derivative(t).item(), 3.0, 1e-10);
+  }
+}
+
+TEST(CubicSplineTest, ApproximatesSmoothFunction) {
+  // Dense knots on sin(t): mid-segment error must be tiny.
+  std::vector<Scalar> times;
+  const Index n = 40;
+  Tensor values(Shape{n, 1});
+  for (Index i = 0; i < n; ++i) {
+    const Scalar t = 2.0 * 3.14159265358979 * i / (n - 1);
+    times.push_back(t);
+    values.at(i, 0) = std::sin(t);
+  }
+  CubicSpline spline(times, values);
+  for (Scalar t = 0.4; t < 5.8; t += 0.37) {
+    EXPECT_NEAR(spline.Evaluate(t).item(), std::sin(t), 1e-4);
+    EXPECT_NEAR(spline.Derivative(t).item(), std::cos(t), 1e-2);
+  }
+}
+
+TEST(CubicSplineTest, DerivativeIsConsistentWithValue) {
+  Rng rng(2);
+  std::vector<Scalar> times = {0.0, 0.5, 1.3, 2.0, 3.1};
+  Tensor values = rng.NormalTensor(Shape{5, 2});
+  CubicSpline spline(times, values);
+  const Scalar eps = 1e-6;
+  for (Scalar t : {0.2, 0.9, 1.7, 2.6}) {
+    Tensor fd = (spline.Evaluate(t + eps) - spline.Evaluate(t - eps)) *
+                (1.0 / (2.0 * eps));
+    EXPECT_LT((spline.Derivative(t) - fd).MaxAbs(), 1e-6) << t;
+  }
+}
+
+TEST(CubicSplineTest, ContinuityAcrossSegments) {
+  Rng rng(3);
+  std::vector<Scalar> times = {0.0, 1.0, 2.0, 3.0};
+  Tensor values = rng.NormalTensor(Shape{4, 1});
+  CubicSpline spline(times, values);
+  const Scalar eps = 1e-9;
+  for (Scalar knot : {1.0, 2.0}) {
+    EXPECT_NEAR(spline.Evaluate(knot - eps).item(),
+                spline.Evaluate(knot + eps).item(), 1e-6);
+    EXPECT_NEAR(spline.Derivative(knot - eps).item(),
+                spline.Derivative(knot + eps).item(), 1e-5);
+  }
+}
+
+TEST(CubicSplineTest, NaturalBoundarySecondDerivativeZero) {
+  // At the ends, the second derivative of a natural spline vanishes:
+  // the first derivative is locally linear-free, check via three-point
+  // second difference.
+  Rng rng(4);
+  std::vector<Scalar> times = {0.0, 1.0, 2.0, 3.0, 4.0};
+  Tensor values = rng.NormalTensor(Shape{5, 1});
+  CubicSpline spline(times, values);
+  const Scalar h = 1e-4;
+  const Scalar second =
+      (spline.Evaluate(0.0).item() - 2.0 * spline.Evaluate(h).item() +
+       spline.Evaluate(2 * h).item()) /
+      (h * h);
+  EXPECT_NEAR(second, 0.0, 1e-2);
+}
+
+TEST(CubicSplineTest, ExtrapolationIsFiniteAndContinuous) {
+  Rng rng(5);
+  std::vector<Scalar> times = {0.0, 1.0, 2.0};
+  Tensor values = rng.NormalTensor(Shape{3, 2});
+  CubicSpline spline(times, values);
+  Tensor inside = spline.Evaluate(2.0);
+  Tensor outside = spline.Evaluate(2.0 + 1e-9);
+  EXPECT_LT((inside - outside).MaxAbs(), 1e-6);
+  EXPECT_TRUE(spline.Evaluate(5.0).AllFinite());
+  EXPECT_TRUE(spline.Evaluate(-3.0).AllFinite());
+}
+
+}  // namespace
+}  // namespace diffode::ode

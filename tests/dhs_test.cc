@@ -1,0 +1,180 @@
+#include "core/dhs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "sparsity/pt_solver.h"
+#include "tensor/random.h"
+
+namespace diffode::core {
+namespace {
+
+using ag::Var;
+
+struct Fixture {
+  Var z;           // n x d parameter
+  DhsContext ctx;
+  Var query;       // 1 x d
+  Var s;           // 1 x d = DHS at the query
+
+  static Fixture Make(Index n, Index d, std::uint64_t seed) {
+    Fixture f;
+    Rng rng(seed);
+    f.z = ag::Param(rng.NormalTensor(Shape{n, d}));
+    f.ctx = BuildDhsContext(f.z, 0.0);
+    f.query = ag::Param(rng.NormalTensor(Shape{1, d}));
+    f.s = DhsForward(f.ctx, f.query);
+    return f;
+  }
+};
+
+TEST(DhsContextTest, MatchesPlainTensorFactorization) {
+  Fixture f = Fixture::Make(10, 4, 1);
+  sparsity::AttentionInverse ref =
+      sparsity::AttentionInverse::Build(f.z.value(), 0.0);
+  EXPECT_LT((f.ctx.zt_pinv.value() - ref.zt_pinv).MaxAbs(), 1e-8);
+  EXPECT_LT((f.ctx.ap_colsum.value() - ref.ap_colsum).MaxAbs(), 1e-8);
+  EXPECT_NEAR(f.ctx.ap_total.value().item(), ref.ap_total, 1e-8);
+}
+
+TEST(DhsForwardTest, IsConvexCombinationOfRows) {
+  // S = p Z with p a softmax: S lies inside the convex hull of Z's rows,
+  // so every coordinate is bounded by the per-column extrema.
+  Fixture f = Fixture::Make(8, 3, 2);
+  const Tensor s = f.s.value();
+  for (Index j = 0; j < 3; ++j) {
+    Scalar lo = f.z.value().at(0, j), hi = lo;
+    for (Index i = 1; i < 8; ++i) {
+      lo = std::min(lo, f.z.value().at(i, j));
+      hi = std::max(hi, f.z.value().at(i, j));
+    }
+    EXPECT_GE(s.at(0, j), lo - 1e-12);
+    EXPECT_LE(s.at(0, j), hi + 1e-12);
+  }
+}
+
+TEST(RecoverPVarTest, MatchesPlainTensorPath) {
+  Fixture f = Fixture::Make(12, 4, 3);
+  sparsity::AttentionInverse ref =
+      sparsity::AttentionInverse::Build(f.z.value(), 0.0);
+  for (auto strategy : {sparsity::PtStrategy::kMinNorm,
+                        sparsity::PtStrategy::kMaxHoyer}) {
+    Var p_var = RecoverPVar(f.ctx, f.s, strategy, Var());
+    Tensor p_ref = sparsity::RecoverP(ref, f.s.value(), strategy);
+    EXPECT_LT((p_var.value() - p_ref).MaxAbs(), 1e-8);
+  }
+  Rng rng(4);
+  Var h = ag::Constant(rng.NormalTensor(Shape{1, 12}));
+  Var p_var = RecoverPVar(f.ctx, f.s, sparsity::PtStrategy::kAdaH, h);
+  Tensor h_t = h.value();
+  Tensor p_ref =
+      sparsity::RecoverP(ref, f.s.value(), sparsity::PtStrategy::kAdaH, &h_t);
+  EXPECT_LT((p_var.value() - p_ref).MaxAbs(), 1e-8);
+}
+
+TEST(RecoverPVarTest, RoundTripReconstructsS) {
+  Fixture f = Fixture::Make(12, 4, 5);
+  Var p = RecoverPVar(f.ctx, f.s, sparsity::PtStrategy::kMaxHoyer, Var());
+  Var s_rec = ag::MatMul(p, f.ctx.z);
+  EXPECT_LT((s_rec.value() - f.s.value()).MaxAbs(), 1e-8);
+  EXPECT_NEAR(p.value().Sum(), 1.0, 1e-8);
+}
+
+TEST(RecoverPVarTest, GradientFlowsToZAndS) {
+  Fixture f = Fixture::Make(7, 3, 6);
+  auto scalar_fn = [&] {
+    DhsContext ctx = BuildDhsContext(f.z, 1e-9);
+    Var s = DhsForward(ctx, f.query);
+    Var p = RecoverPVar(ctx, s, sparsity::PtStrategy::kMaxHoyer, Var());
+    return ag::Mean(ag::Square(p));
+  };
+  EXPECT_LT(testing::MaxGradError(f.query, scalar_fn, 1e-6), 1e-4);
+  EXPECT_LT(testing::MaxGradError(f.z, scalar_fn, 1e-6), 1e-4);
+}
+
+TEST(RecoverZVarTest, MatchesPlainTensorPath) {
+  Fixture f = Fixture::Make(9, 3, 7);
+  Rng rng(8);
+  Tensor h2_t = rng.NormalTensor(Shape{1, 9});
+  Var p = RecoverPVar(f.ctx, f.s, sparsity::PtStrategy::kMaxHoyer, Var());
+  Var z_rec = RecoverZVar(f.ctx, p, ag::Constant(h2_t));
+  sparsity::AttentionInverse ref =
+      sparsity::AttentionInverse::Build(f.z.value(), 0.0);
+  Tensor z_ref = sparsity::RecoverZ(ref, p.value(), h2_t);
+  EXPECT_LT((z_rec.value() - z_ref).MaxAbs(), 1e-8);
+}
+
+TEST(RecoverZVarTest, GradientFlows) {
+  Fixture f = Fixture::Make(6, 3, 9);
+  Rng rng(10);
+  Var h2 = ag::Param(rng.NormalTensor(Shape{1, 6}));
+  auto scalar_fn = [&] {
+    DhsContext ctx = BuildDhsContext(f.z, 1e-9);
+    Var s = DhsForward(ctx, f.query);
+    Var p = RecoverPVar(ctx, s, sparsity::PtStrategy::kMaxHoyer, Var());
+    Var z_rec = RecoverZVar(ctx, p, h2);
+    return ag::Mean(ag::Square(z_rec));
+  };
+  EXPECT_LT(testing::MaxGradError(h2, scalar_fn, 1e-6), 1e-4);
+  EXPECT_LT(testing::MaxGradError(f.z, scalar_fn, 1e-6), 1e-4);
+}
+
+// The centrepiece identity: the analytic DHS derivative (Eq. 6/12)
+// matches a finite difference of the *definition* S(t) = softmax(z(t) Zᵀ/√d) Z
+// when z(t) moves along a known path.
+TEST(DhsDerivativeTest, MatchesFiniteDifferenceOfDefinition) {
+  const Index n = 10, d = 4;
+  Rng rng(11);
+  Tensor z_mat = rng.NormalTensor(Shape{n, d});
+  Tensor z0 = rng.NormalTensor(Shape{1, d});
+  Tensor vel = rng.NormalTensor(Shape{1, d});  // dz/dt, fixed
+  Var z = ag::Constant(z_mat);
+  DhsContext ctx = BuildDhsContext(z, 0.0);
+  auto s_of_t = [&](Scalar t) {
+    Var zq = ag::Constant(z0 + vel * t);
+    return DhsForward(ctx, zq).value();
+  };
+  // Attention weights at t = 0 (directly from the definition).
+  Tensor logits = z0.MatMul(z_mat.Transposed()) *
+                  (1.0 / std::sqrt(static_cast<Scalar>(d)));
+  const Scalar m = logits.Max();
+  Tensor p = logits.Map([m](Scalar x) { return std::exp(x - m); });
+  p *= 1.0 / p.Sum();
+  Var ds = DhsDerivative(ctx, ag::Constant(vel), ag::Constant(p));
+  const Scalar eps = 1e-6;
+  Tensor fd = (s_of_t(eps) - s_of_t(-eps)) * (1.0 / (2.0 * eps));
+  EXPECT_LT((ds.value() - fd).MaxAbs(), 1e-6);
+}
+
+TEST(DhsDerivativeTest, EquivalentToExplicitMatrixForm) {
+  // ((w Zᵀ) ⊙ p) Z - (w Zᵀ pᵀ)(p Z) == w Zᵀ (P_diag - pᵀp) Z / ... (x √d).
+  const Index n = 8, d = 3;
+  Rng rng(12);
+  Tensor z = rng.NormalTensor(Shape{n, d});
+  Tensor w = rng.NormalTensor(Shape{1, d});
+  Tensor raw = rng.UniformTensor(Shape{1, n}, 0.01, 1.0);
+  Tensor p = raw * (1.0 / raw.Sum());
+  Var zv = ag::Constant(z);
+  DhsContext ctx = BuildDhsContext(zv, 0.0);
+  Var fast = DhsDerivative(ctx, ag::Constant(w), ag::Constant(p));
+  // Explicit O(n d^2) form.
+  Tensor pdiag(Shape{n, n});
+  for (Index i = 0; i < n; ++i) pdiag.at(i, i) = p[i];
+  Tensor middle = pdiag - p.Transposed().MatMul(p);
+  Tensor slow = w.MatMul(z.Transposed()).MatMul(middle).MatMul(z) *
+                (1.0 / std::sqrt(static_cast<Scalar>(d)));
+  EXPECT_LT((fast.value() - slow).MaxAbs(), 1e-10);
+}
+
+TEST(DhsDerivativeTest, ZeroVelocityGivesZeroDerivative) {
+  Fixture f = Fixture::Make(6, 3, 13);
+  Tensor p_raw = Tensor::Full(Shape{1, 6}, 1.0 / 6.0);
+  Var ds = DhsDerivative(f.ctx, ag::Constant(Tensor(Shape{1, 3})),
+                         ag::Constant(p_raw));
+  EXPECT_EQ(ds.value().MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace diffode::core

@@ -1,0 +1,192 @@
+#include "core/diffode_model.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/optimizer.h"
+#include "tensor/random.h"
+
+namespace diffode::core {
+namespace {
+
+data::IrregularSeries MakeSeries(Index n, Index f, std::uint64_t seed) {
+  Rng rng(seed);
+  data::IrregularSeries s;
+  Scalar t = 0.0;
+  s.values = Tensor(Shape{n, f});
+  s.mask = Tensor::Ones(Shape{n, f});
+  for (Index i = 0; i < n; ++i) {
+    t += rng.Uniform(0.2, 1.0);
+    s.times.push_back(t);
+    for (Index j = 0; j < f; ++j)
+      s.values.at(i, j) = std::sin(t + static_cast<Scalar>(j));
+  }
+  s.label = 1;
+  return s;
+}
+
+DiffOdeConfig FastConfig(Index f) {
+  DiffOdeConfig config;
+  config.input_dim = f;
+  config.latent_dim = 8;
+  config.hippo_dim = 6;
+  config.info_dim = 6;
+  config.mlp_hidden = 12;
+  config.num_classes = 2;
+  config.step = 1.0;  // coarse integration keeps the tests fast
+  return config;
+}
+
+TEST(DiffOdeModelTest, ClassificationLogitShape) {
+  DiffOde model(FastConfig(2));
+  data::IrregularSeries s = MakeSeries(6, 2, 1);
+  ag::Var logits = model.ClassifyLogits(s);
+  EXPECT_EQ(logits.rows(), 1);
+  EXPECT_EQ(logits.cols(), 2);
+  EXPECT_TRUE(logits.value().AllFinite());
+}
+
+TEST(DiffOdeModelTest, PredictShapesAndFiniteness) {
+  DiffOde model(FastConfig(3));
+  data::IrregularSeries s = MakeSeries(7, 3, 2);
+  std::vector<Scalar> queries = {s.times[1], s.times.back() + 1.0,
+                                 s.times[0] - 0.5};
+  auto preds = model.PredictAt(s, queries);
+  ASSERT_EQ(preds.size(), 3u);
+  for (const auto& p : preds) {
+    EXPECT_EQ(p.rows(), 1);
+    EXPECT_EQ(p.cols(), 3);
+    EXPECT_TRUE(p.value().AllFinite());
+  }
+}
+
+TEST(DiffOdeModelTest, AllConfigVariantsRun) {
+  data::IrregularSeries s = MakeSeries(6, 2, 3);
+  for (EncoderType enc : {EncoderType::kGru, EncoderType::kMlp}) {
+    for (OutputHead head : {OutputHead::kHippo, OutputHead::kDirect}) {
+      for (bool attn : {true, false}) {
+        DiffOdeConfig config = FastConfig(2);
+        config.encoder = enc;
+        config.head = head;
+        config.use_attention = attn;
+        DiffOde model(config);
+        ag::Var logits = model.ClassifyLogits(s);
+        EXPECT_TRUE(logits.value().AllFinite())
+            << "enc=" << static_cast<int>(enc)
+            << " head=" << static_cast<int>(head) << " attn=" << attn;
+        auto preds = model.PredictAt(s, {s.times[2]});
+        EXPECT_TRUE(preds[0].value().AllFinite());
+      }
+    }
+  }
+}
+
+TEST(DiffOdeModelTest, PtStrategyVariantsRun) {
+  data::IrregularSeries s = MakeSeries(6, 2, 4);
+  for (auto strategy : {sparsity::PtStrategy::kMaxHoyer,
+                        sparsity::PtStrategy::kMinNorm,
+                        sparsity::PtStrategy::kAdaH}) {
+    DiffOdeConfig config = FastConfig(2);
+    config.pt_strategy = strategy;
+    DiffOde model(config);
+    EXPECT_TRUE(model.ClassifyLogits(s).value().AllFinite());
+  }
+}
+
+TEST(DiffOdeModelTest, MultiHeadVariantsRun) {
+  data::IrregularSeries s = MakeSeries(6, 2, 5);
+  for (Index heads : {1, 2, 4}) {
+    DiffOdeConfig config = FastConfig(2);
+    config.num_heads = heads;
+    DiffOde model(config);
+    EXPECT_TRUE(model.ClassifyLogits(s).value().AllFinite()) << heads;
+  }
+}
+
+TEST(DiffOdeModelTest, ParameterCountPositiveAndStable) {
+  DiffOde model(FastConfig(2));
+  const Index n1 = model.NumParams();
+  EXPECT_GT(n1, 100);
+  EXPECT_EQ(model.NumParams(), n1);
+}
+
+TEST(DiffOdeModelTest, ClassificationLossDecreasesWithTraining) {
+  DiffOdeConfig config = FastConfig(1);
+  DiffOde model(config);
+  // Two easily separable series: constant +1 vs constant -1.
+  data::IrregularSeries pos = MakeSeries(5, 1, 6);
+  data::IrregularSeries neg = MakeSeries(5, 1, 7);
+  for (Index i = 0; i < 5; ++i) {
+    pos.values.at(i, 0) = 1.0;
+    neg.values.at(i, 0) = -1.0;
+  }
+  pos.label = 1;
+  neg.label = 0;
+  nn::Adam opt(model.Params(), 0.02);
+  Scalar first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    ag::Var loss_p = ag::SoftmaxCrossEntropy(model.ClassifyLogits(pos), {1});
+    ag::Var loss_n = ag::SoftmaxCrossEntropy(model.ClassifyLogits(neg), {0});
+    ag::Var loss = ag::Add(loss_p, loss_n);
+    const Scalar value = loss.value().item();
+    if (step == 0) first_loss = value;
+    last_loss = value;
+    loss.Backward();
+    opt.StepAndZero();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(DiffOdeModelTest, RegressionLossDecreasesWithTraining) {
+  DiffOdeConfig config = FastConfig(1);
+  config.step = 1.0;
+  DiffOde model(config);
+  data::IrregularSeries s = MakeSeries(6, 1, 8);
+  std::vector<Scalar> targets_t = {s.times[1], s.times[3], s.times[4]};
+  Tensor target(Shape{3, 1});
+  for (int i = 0; i < 3; ++i) target.at(i, 0) = 0.5;
+  nn::Adam opt(model.Params(), 0.02);
+  Scalar first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    auto preds = model.PredictAt(s, targets_t);
+    ag::Var loss = ag::MseLoss(ag::ConcatRows(preds), target);
+    const Scalar value = loss.value().item();
+    if (step == 0) first_loss = value;
+    last_loss = value;
+    loss.Backward();
+    opt.StepAndZero();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(DiffOdeModelTest, AttentionTrajectoryRowsAreDistributions) {
+  DiffOde model(FastConfig(2));
+  data::IrregularSeries s = MakeSeries(8, 2, 9);
+  auto rows = model.AttentionTrajectory(s);
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& p : rows) {
+    EXPECT_NEAR(p.Sum(), 1.0, 1e-10);
+    for (Index i = 0; i < p.numel(); ++i) EXPECT_GE(p[i], 0.0);
+  }
+}
+
+TEST(DiffOdeModelTest, DeterministicAcrossIdenticalSeeds) {
+  DiffOdeConfig config = FastConfig(2);
+  DiffOde m1(config), m2(config);
+  data::IrregularSeries s = MakeSeries(6, 2, 10);
+  Tensor l1 = m1.ClassifyLogits(s).value();
+  Tensor l2 = m2.ClassifyLogits(s).value();
+  EXPECT_EQ((l1 - l2).MaxAbs(), 0.0);
+}
+
+TEST(DiffOdeModelTest, SparseMaskHandled) {
+  DiffOde model(FastConfig(2));
+  data::IrregularSeries s = MakeSeries(6, 2, 11);
+  // Zero out most of the mask.
+  for (Index i = 0; i < 6; ++i)
+    for (Index j = 0; j < 2; ++j) s.mask.at(i, j) = (i + j) % 2;
+  EXPECT_TRUE(model.ClassifyLogits(s).value().AllFinite());
+}
+
+}  // namespace
+}  // namespace diffode::core

@@ -1,0 +1,124 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hippo/hippo.h"
+#include "linalg/lu.h"
+#include "tensor/random.h"
+
+namespace diffode::linalg {
+namespace {
+
+TEST(EigenTest, TriangularMatrixEigenvaluesAreDiagonal) {
+  Tensor a = Tensor::FromRows(3, 3, {2, 5, 1, 0, -3, 4, 0, 0, 7});
+  auto eig = Eigenvalues(a);
+  std::vector<Scalar> real;
+  for (const auto& l : eig) {
+    EXPECT_NEAR(l.imag(), 0.0, 1e-8);
+    real.push_back(l.real());
+  }
+  std::sort(real.begin(), real.end());
+  ASSERT_EQ(real.size(), 3u);
+  EXPECT_NEAR(real[0], -3.0, 1e-8);
+  EXPECT_NEAR(real[1], 2.0, 1e-8);
+  EXPECT_NEAR(real[2], 7.0, 1e-8);
+}
+
+TEST(EigenTest, RotationMatrixHasComplexPair) {
+  const Scalar theta = 0.7;
+  Tensor a = Tensor::FromRows(
+      2, 2, {std::cos(theta), -std::sin(theta), std::sin(theta),
+             std::cos(theta)});
+  auto eig = Eigenvalues(a);
+  ASSERT_EQ(eig.size(), 2u);
+  for (const auto& l : eig) {
+    EXPECT_NEAR(std::abs(l), 1.0, 1e-8);
+    EXPECT_NEAR(std::fabs(l.imag()), std::sin(theta), 1e-8);
+  }
+}
+
+TEST(EigenTest, TraceAndDeterminantIdentities) {
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{6, 6});
+  auto eig = Eigenvalues(a);
+  ASSERT_EQ(eig.size(), 6u);
+  std::complex<Scalar> sum = 0.0, prod = 1.0;
+  for (const auto& l : eig) {
+    sum += l;
+    prod *= l;
+  }
+  Scalar trace = 0.0;
+  for (Index i = 0; i < 6; ++i) trace += a.at(i, i);
+  EXPECT_NEAR(sum.real(), trace, 1e-6);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-6);  // complex pairs conjugate
+}
+
+TEST(EigenTest, HippoLegsSpectrum) {
+  // LegS A is lower triangular with diagonal -(i+1): eigenvalues are known
+  // exactly — this is the stiffness fact behind DESIGN.md's timescale.
+  Tensor a = hippo::MakeLegsA(8);
+  auto eig = Eigenvalues(a);
+  std::vector<Scalar> real;
+  for (const auto& l : eig) real.push_back(l.real());
+  std::sort(real.begin(), real.end());
+  for (Index i = 0; i < 8; ++i)
+    EXPECT_NEAR(real[static_cast<std::size_t>(i)],
+                -static_cast<Scalar>(8 - i), 1e-6);
+  EXPECT_NEAR(SpectralAbscissa(a), -1.0, 1e-6);
+  EXPECT_NEAR(SpectralRadius(a), 8.0, 1e-6);
+}
+
+TEST(EigenTest, SpectralAbscissaDetectsInstability) {
+  Tensor stable = Tensor::FromRows(2, 2, {-1, 0, 0, -2});
+  Tensor unstable = Tensor::FromRows(2, 2, {0.5, 0, 0, -2});
+  EXPECT_LT(SpectralAbscissa(stable), 0.0);
+  EXPECT_GT(SpectralAbscissa(unstable), 0.0);
+}
+
+TEST(EigenSymTest, ReconstructsMatrix) {
+  Rng rng(2);
+  Tensor m = rng.NormalTensor(Shape{5, 5});
+  Tensor a = (m + m.Transposed()) * 0.5;
+  SymmetricEigen eig = EigenSym(a);
+  // V diag(w) Vᵀ == A.
+  Tensor vd = eig.eigenvectors;
+  for (Index j = 0; j < 5; ++j)
+    for (Index i = 0; i < 5; ++i) vd.at(i, j) *= eig.eigenvalues[j];
+  EXPECT_LT((vd.MatMul(eig.eigenvectors.Transposed()) - a).MaxAbs(), 1e-8);
+  // Eigenvalues ascending.
+  for (Index j = 1; j < 5; ++j)
+    EXPECT_GE(eig.eigenvalues[j], eig.eigenvalues[j - 1]);
+  // Orthonormal eigenvectors.
+  Tensor vtv = eig.eigenvectors.Transposed().MatMul(eig.eigenvectors);
+  EXPECT_LT((vtv - Tensor::Eye(5)).MaxAbs(), 1e-9);
+}
+
+TEST(EigenSymTest, KnownSpectrum) {
+  Tensor a = Tensor::FromRows(2, 2, {2, 1, 1, 2});
+  SymmetricEigen eig = EigenSym(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(EigenSymTest, ProjectorSpectrumZeroOne) {
+  // A_p = I - (Zᵀ)† Zᵀ is an orthogonal projector: eigenvalues in {0, 1}
+  // with multiplicity (n - d) at 1.
+  Rng rng(3);
+  Tensor z = rng.NormalTensor(Shape{9, 3});
+  Tensor gram_inv = Inverse(z.Transposed().MatMul(z));
+  Tensor proj = Tensor::Eye(9) - z.MatMul(gram_inv).MatMul(z.Transposed());
+  SymmetricEigen eig = EigenSym(proj);
+  Index ones = 0, zeros = 0;
+  for (Index i = 0; i < 9; ++i) {
+    if (std::fabs(eig.eigenvalues[i] - 1.0) < 1e-8) ++ones;
+    if (std::fabs(eig.eigenvalues[i]) < 1e-8) ++zeros;
+  }
+  EXPECT_EQ(ones, 6);
+  EXPECT_EQ(zeros, 3);
+}
+
+}  // namespace
+}  // namespace diffode::linalg

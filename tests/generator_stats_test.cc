@@ -1,0 +1,182 @@
+// Statistical sanity checks on the synthetic dataset generators: observed
+// rates, channel structure, periodicity and class balance must match the
+// processes DESIGN.md says they implement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/splits.h"
+
+namespace diffode::data {
+namespace {
+
+TEST(GeneratorStatsTest, PoissonThinningKeepsExpectedFraction) {
+  SyntheticPeriodicConfig config;
+  config.num_series = 300;
+  config.grid_points = 40;
+  config.keep_rate = 0.7;
+  Dataset ds = MakeSyntheticPeriodic(config);
+  Scalar total = 0.0;
+  Index count = 0;
+  for (const auto& s : ds.train) {
+    total += static_cast<Scalar>(s.length());
+    ++count;
+  }
+  const Scalar mean_kept = total / count / config.grid_points;
+  EXPECT_NEAR(mean_kept, 0.7, 0.05);
+}
+
+TEST(GeneratorStatsTest, SyntheticClassBalanceMatchesThreshold) {
+  // y = 1[x(5) > 0.5] with x in [-1, 1]: the positive class is the rarer
+  // one but must be well represented.
+  SyntheticPeriodicConfig config;
+  config.num_series = 600;
+  Dataset ds = MakeSyntheticPeriodic(config);
+  Index positives = 0, total = 0;
+  for (const auto* split : {&ds.train, &ds.val, &ds.test}) {
+    for (const auto& s : *split) {
+      positives += s.label;
+      ++total;
+    }
+  }
+  const Scalar rate = static_cast<Scalar>(positives) / total;
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.50);
+}
+
+TEST(GeneratorStatsTest, UshcnTemperatureSeasonality) {
+  // Average tmax in "summer" (mid-year) must exceed "winter" (year start)
+  // given the -cos annual cycle.
+  UshcnLikeConfig config;
+  config.num_stations = 40;
+  config.num_days = 365;
+  config.keep_time_rate = 1.0;
+  config.drop_rate = 0.0;
+  Dataset ds = MakeUshcnLike(config);
+  Scalar winter = 0.0, summer = 0.0;
+  Scalar wn = 0.0, sn = 0.0;
+  for (const auto& s : ds.train) {
+    for (Index i = 0; i < s.length(); ++i) {
+      const Scalar day = s.times[static_cast<std::size_t>(i)];
+      const Scalar tmax = s.values.at(i, 4);
+      if (day < 60.0) {
+        winter += tmax;
+        wn += 1.0;
+      } else if (day > 150.0 && day < 210.0) {
+        summer += tmax;
+        sn += 1.0;
+      }
+    }
+  }
+  ASSERT_GT(wn, 0.0);
+  ASSERT_GT(sn, 0.0);
+  EXPECT_GT(summer / sn, winter / wn + 5.0);
+}
+
+TEST(GeneratorStatsTest, UshcnAnomalyPersistence) {
+  // The AR(1) weather anomaly makes day-to-day tmax differences much
+  // smaller than differences across 30 days (beyond the seasonal trend).
+  UshcnLikeConfig config;
+  config.num_stations = 20;
+  config.num_days = 200;
+  config.keep_time_rate = 1.0;
+  config.drop_rate = 0.0;
+  Dataset ds = MakeUshcnLike(config);
+  Scalar adjacent = 0.0, distant = 0.0;
+  Scalar an = 0.0, dn = 0.0;
+  for (const auto& s : ds.train) {
+    for (Index i = 1; i < s.length(); ++i) {
+      const Scalar d = std::fabs(s.values.at(i, 4) - s.values.at(i - 1, 4));
+      adjacent += d;
+      an += 1.0;
+    }
+    for (Index i = 30; i < s.length(); i += 7) {
+      const Scalar d = std::fabs(s.values.at(i, 4) - s.values.at(i - 30, 4));
+      distant += d;
+      dn += 1.0;
+    }
+  }
+  EXPECT_LT(adjacent / an, distant / dn);
+}
+
+TEST(GeneratorStatsTest, PhysioNetVitalChannelsObservedMoreOften) {
+  PhysioNetLikeConfig config;
+  config.num_patients = 40;
+  config.num_channels = 16;
+  Dataset ds = MakePhysioNetLike(config);
+  // First quarter of channels are "vitals" with rate 0.8; the rest are labs
+  // with rates <= 0.4.
+  Tensor counts(Shape{1, 16});
+  Scalar rows = 0.0;
+  for (const auto& s : ds.train) {
+    rows += static_cast<Scalar>(s.length());
+    for (Index i = 0; i < s.length(); ++i)
+      for (Index c = 0; c < 16; ++c) counts.at(0, c) += s.mask.at(i, c);
+  }
+  Scalar vitals = 0.0, labs = 0.0;
+  for (Index c = 0; c < 4; ++c) vitals += counts.at(0, c) / rows;
+  for (Index c = 4; c < 16; ++c) labs += counts.at(0, c) / rows;
+  EXPECT_GT(vitals / 4.0, labs / 12.0);
+}
+
+TEST(GeneratorStatsTest, TrafficRushHourPeaks) {
+  LargeStLikeConfig config;
+  config.num_sensors = 20;
+  config.hours_per_sensor = 24 * 7;
+  config.keep_rate = 1.0;
+  Dataset ds = MakeLargeStLike(config);
+  Scalar rush = 0.0, night = 0.0;
+  Scalar rn = 0.0, nn = 0.0;
+  for (const auto& s : ds.train) {
+    for (Index i = 0; i < s.length(); ++i) {
+      const int hour = static_cast<int>(s.times[static_cast<std::size_t>(i)]) % 24;
+      if (hour == 8 || hour == 18) {
+        rush += s.values.at(i, 0);
+        rn += 1.0;
+      } else if (hour >= 1 && hour <= 4) {
+        night += s.values.at(i, 0);
+        nn += 1.0;
+      }
+    }
+  }
+  EXPECT_GT(rush / rn, 1.5 * (night / nn));
+}
+
+TEST(GeneratorStatsTest, LorenzLabelsBalancedByMedianSplit) {
+  DynamicalSystemConfig config;
+  config.dim = 8;
+  config.trajectory_steps = 2000;
+  config.window = 25;
+  Dataset ds = MakeLorenz96(config);
+  Index positives = 0, total = 0;
+  for (const auto* split : {&ds.train, &ds.val, &ds.test}) {
+    for (const auto& s : *split) {
+      positives += s.label;
+      ++total;
+    }
+  }
+  const Scalar rate = static_cast<Scalar>(positives) / total;
+  EXPECT_NEAR(rate, 0.5, 0.06);  // median split
+}
+
+TEST(GeneratorStatsTest, NormalizationIsInvertibleViaStats) {
+  UshcnLikeConfig config;
+  config.num_stations = 15;
+  config.num_days = 60;
+  Dataset ds = MakeUshcnLike(config);
+  Dataset original = ds;  // keep a copy to undo against
+  FeatureStats stats = NormalizeDataset(&ds);
+  // De-normalize the first train sample and compare with the original.
+  const auto& norm = ds.train.front();
+  const auto& orig = original.train.front();
+  for (Index i = 0; i < norm.length(); ++i)
+    for (Index j = 0; j < 5; ++j)
+      EXPECT_NEAR(norm.values.at(i, j) * stats.std.at(0, j) +
+                      stats.mean.at(0, j),
+                  orig.values.at(i, j), 1e-9);
+}
+
+}  // namespace
+}  // namespace diffode::data

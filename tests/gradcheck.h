@@ -1,0 +1,37 @@
+#ifndef DIFFODE_TESTS_GRADCHECK_H_
+#define DIFFODE_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/variable.h"
+
+namespace diffode::testing {
+
+// Compares the analytic gradient of scalar_fn w.r.t. the leaf `x` against a
+// central finite difference. scalar_fn must rebuild the graph from x's
+// current value on every call and return a 1x1 Var.
+inline double MaxGradError(
+    ag::Var& x, const std::function<ag::Var()>& scalar_fn, double eps = 1e-5) {
+  x.ZeroGrad();
+  ag::Var out = scalar_fn();
+  out.Backward();
+  Tensor analytic = x.grad();
+  double max_err = 0.0;
+  for (Index i = 0; i < x.value().numel(); ++i) {
+    const Scalar orig = x.value()[i];
+    x.mutable_value()[i] = orig + eps;
+    const Scalar up = scalar_fn().value().item();
+    x.mutable_value()[i] = orig - eps;
+    const Scalar down = scalar_fn().value().item();
+    x.mutable_value()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double denom = std::max(1.0, std::fabs(numeric));
+    max_err = std::max(max_err, std::fabs(numeric - analytic[i]) / denom);
+  }
+  return max_err;
+}
+
+}  // namespace diffode::testing
+
+#endif  // DIFFODE_TESTS_GRADCHECK_H_

@@ -1,0 +1,111 @@
+#include "hippo/hippo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "ode/solver.h"
+
+namespace diffode::hippo {
+namespace {
+
+TEST(HippoTest, LegsMatrixStructure) {
+  Tensor a = MakeLegsA(5);
+  // Diagonal -(i+1), strictly-upper zero, lower -sqrt(2i+1)sqrt(2k+1).
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a.at(i, i), -static_cast<Scalar>(i + 1));
+    for (Index k = i + 1; k < 5; ++k) EXPECT_DOUBLE_EQ(a.at(i, k), 0.0);
+    for (Index k = 0; k < i; ++k)
+      EXPECT_NEAR(a.at(i, k),
+                  -std::sqrt(Scalar(2 * i + 1)) * std::sqrt(Scalar(2 * k + 1)),
+                  1e-12);
+  }
+  Tensor b = MakeLegsB(4);
+  for (Index i = 0; i < 4; ++i)
+    EXPECT_NEAR(b.at(i, 0), std::sqrt(Scalar(2 * i + 1)), 1e-12);
+}
+
+TEST(HippoTest, LegsIsStable) {
+  // All eigenvalues of the LegS A have negative real part; the diagonal of a
+  // triangular-structure similarity gives them directly for this form.
+  // Empirically: integrating dc/dt = A c decays.
+  Tensor a = MakeLegsA(8);
+  ode::SolveOptions options;
+  options.method = ode::Method::kRk4;
+  options.step = 0.01;
+  Tensor c0 = Tensor::Ones(Shape{8, 1});
+  ode::OdeFunc f = [&a](Scalar, const Tensor& c) { return a.MatMul(c); };
+  Tensor c1 = ode::Integrate(f, c0, 0.0, 5.0, options);
+  EXPECT_LT(c1.Norm(), c0.Norm() * 0.1);
+}
+
+TEST(HippoTest, BilinearMatchesExponentialForSmallStep) {
+  Tensor a = MakeLegsA(4);
+  Tensor b = MakeLegsB(4);
+  const Scalar dt = 1e-3;
+  Discretized d = Bilinear(a, b, dt);
+  // a_bar ~ I + dt A for small dt.
+  Tensor approx = Tensor::Eye(4) + a * dt;
+  EXPECT_LT((d.a_bar - approx).MaxAbs(), 1e-4);
+  EXPECT_LT((d.b_bar - b * dt).MaxAbs(), 1e-4);
+}
+
+TEST(HippoTest, BilinearStableForLargeStep) {
+  // Bilinear discretization of a stable system keeps the spectral radius
+  // below 1 even for large steps (unlike Euler).
+  Tensor a = MakeLegsA(6);
+  Tensor b = MakeLegsB(6);
+  Discretized d = Bilinear(a, b, 1.0);
+  // Power iteration estimate of the spectral radius.
+  Tensor v = Tensor::Ones(Shape{6, 1});
+  Scalar prev = v.Norm();
+  for (int i = 0; i < 50; ++i) {
+    v = d.a_bar.MatMul(v);
+    const Scalar cur = v.Norm();
+    if (i > 30) {
+      EXPECT_LT(cur / prev, 1.0 + 1e-9);
+    }
+    prev = cur;
+  }
+}
+
+TEST(HippoTest, EulerDiscretization) {
+  Tensor a = MakeLegsA(3);
+  Tensor b = MakeLegsB(3);
+  Discretized d = Euler(a, b, 0.1);
+  EXPECT_LT((d.a_bar - (Tensor::Eye(3) + a * 0.1)).MaxAbs(), 1e-15);
+  EXPECT_LT((d.b_bar - b * 0.1).MaxAbs(), 1e-15);
+}
+
+TEST(HippoTest, ProjectorReconstructsConstantSignal) {
+  // LegS of a constant stream: coefficient 0 carries the running average
+  // (~u), higher Legendre coefficients stay near zero.
+  LegsProjector projector(6);
+  for (int k = 0; k < 400; ++k) projector.Update(1.0);
+  const Tensor& c = projector.coeffs();
+  EXPECT_NEAR(c.at(0, 0), 1.0, 0.05);
+  for (Index i = 1; i < 6; ++i) EXPECT_LT(std::fabs(c.at(i, 0)), 0.1);
+}
+
+TEST(HippoTest, ProjectorTracksRamp) {
+  // For u(t) = t/T the Legendre-coefficient memory should weight the first
+  // two coefficients: mean 0.5 and positive slope coefficient.
+  LegsProjector projector(6);
+  const int kSteps = 500;
+  for (int k = 1; k <= kSteps; ++k)
+    projector.Update(static_cast<Scalar>(k) / kSteps);
+  const Tensor& c = projector.coeffs();
+  EXPECT_NEAR(c.at(0, 0), 0.5, 0.1);
+  EXPECT_GT(c.at(1, 0), 0.05);
+}
+
+TEST(HippoTest, ProjectorResetClearsState) {
+  LegsProjector projector(4);
+  projector.Update(3.0);
+  projector.Reset();
+  EXPECT_EQ(projector.coeffs().MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace diffode::hippo

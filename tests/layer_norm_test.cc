@@ -1,0 +1,79 @@
+#include "nn/layer_norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "tensor/random.h"
+
+namespace diffode::nn {
+namespace {
+
+using testing::MaxGradError;
+
+TEST(LayerNormOpTest, RowsNormalized) {
+  Rng rng(1);
+  ag::Var x = ag::Constant(rng.NormalTensor(Shape{3, 6}, 5.0, 2.0));
+  Tensor y = ag::LayerNormRows(x).value();
+  for (Index i = 0; i < 3; ++i) {
+    Scalar mean = 0.0, var = 0.0;
+    for (Index j = 0; j < 6; ++j) mean += y.at(i, j);
+    mean /= 6.0;
+    for (Index j = 0; j < 6; ++j)
+      var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 6.0;
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-4);
+  }
+}
+
+TEST(LayerNormOpTest, ShiftAndScaleInvariance) {
+  Rng rng(2);
+  Tensor x = rng.NormalTensor(Shape{2, 5});
+  Tensor y1 = ag::LayerNormRows(ag::Constant(x)).value();
+  Tensor y2 = ag::LayerNormRows(ag::Constant(x * 3.0 + 7.0)).value();
+  // Invariance is exact only up to the eps regularizer in the denominator.
+  EXPECT_LT((y1 - y2).MaxAbs(), 5e-4);
+}
+
+TEST(LayerNormOpTest, GradCheck) {
+  Rng rng(3);
+  ag::Var x = ag::Param(rng.NormalTensor(Shape{2, 5}));
+  ag::Var w = ag::Constant(rng.NormalTensor(Shape{2, 5}));
+  EXPECT_LT(MaxGradError(
+                x, [&] { return ag::Sum(ag::Mul(ag::LayerNormRows(x), w)); }),
+            1e-5);
+}
+
+TEST(MulRowVecTest, ForwardAndGradients) {
+  Rng rng(4);
+  ag::Var m = ag::Param(rng.NormalTensor(Shape{3, 4}));
+  ag::Var v = ag::Param(rng.NormalTensor(Shape{1, 4}));
+  ag::Var out = ag::MulRowVec(m, v);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 4; ++j)
+      EXPECT_NEAR(out.value().at(i, j),
+                  m.value().at(i, j) * v.value().at(0, j), 1e-15);
+  ag::Var w = ag::Constant(rng.NormalTensor(Shape{3, 4}));
+  auto fn = [&] { return ag::Sum(ag::Mul(ag::MulRowVec(m, v), w)); };
+  EXPECT_LT(MaxGradError(m, fn), 1e-6);
+  EXPECT_LT(MaxGradError(v, fn), 1e-6);
+}
+
+TEST(LayerNormModuleTest, IdentityAtInitThenTrainable) {
+  Rng rng(5);
+  LayerNorm norm(4);
+  ag::Var x = ag::Constant(rng.NormalTensor(Shape{2, 4}));
+  // gain=1, bias=0 at init: module output equals the raw normalization.
+  Tensor raw = ag::LayerNormRows(x).value();
+  EXPECT_LT((norm.Forward(x).value() - raw).MaxAbs(), 1e-12);
+  EXPECT_EQ(norm.NumParams(), 8);
+  // Gradients reach gain and bias.
+  ag::Var loss = ag::Mean(ag::Square(norm.Forward(x)));
+  loss.Backward();
+  for (auto& p : norm.Params()) EXPECT_GE(p.grad().MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace diffode::nn

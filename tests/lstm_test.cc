@@ -1,0 +1,94 @@
+#include "nn/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "gradcheck.h"
+#include "nn/optimizer.h"
+#include "tensor/random.h"
+
+namespace diffode::nn {
+namespace {
+
+TEST(LstmCellTest, ShapesAndBounds) {
+  Rng rng(1);
+  LstmCell cell(3, 5, rng);
+  auto state = cell.InitialState(1);
+  ag::Var x = ag::Constant(rng.NormalTensor(Shape{1, 3}, 0.0, 5.0));
+  for (int i = 0; i < 30; ++i) state = cell.Forward(x, state);
+  EXPECT_EQ(state.h.cols(), 5);
+  EXPECT_EQ(state.c.cols(), 5);
+  // h = o * tanh(c) is bounded by 1; c may exceed 1 but stays finite.
+  EXPECT_LE(state.h.value().MaxAbs(), 1.0 + 1e-12);
+  EXPECT_TRUE(state.c.value().AllFinite());
+}
+
+TEST(LstmCellTest, MemoryCellAccumulates) {
+  // With a strongly positive input gate drive the cell integrates inputs:
+  // repeated identical inputs grow |c| beyond 1 (unlike a GRU's h).
+  Rng rng(2);
+  LstmCell cell(1, 4, rng);
+  auto state = cell.InitialState(1);
+  ag::Var x = ag::Constant(Tensor::Full(Shape{1, 1}, 3.0));
+  Scalar prev_norm = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    state = cell.Forward(x, state);
+    const Scalar norm = state.c.value().Norm();
+    EXPECT_GE(norm + 1e-9, prev_norm * 0.5);  // no collapse
+    prev_norm = norm;
+  }
+  EXPECT_GT(prev_norm, 0.0);
+}
+
+TEST(LstmCellTest, GradientsFlowThroughTwoSteps) {
+  Rng rng(3);
+  LstmCell cell(2, 3, rng);
+  ag::Var x = ag::Param(rng.NormalTensor(Shape{1, 2}));
+  auto fn = [&] {
+    auto state = cell.InitialState(1);
+    state = cell.Forward(x, state);
+    state = cell.Forward(x, state);
+    return ag::Mean(ag::Square(state.h));
+  };
+  EXPECT_LT(testing::MaxGradError(x, fn), 1e-5);
+}
+
+TEST(LstmCellTest, ParamsCollected) {
+  Rng rng(4);
+  LstmCell cell(2, 3, rng);
+  // x gates: 2*12 + 12; h gates: 3*12 + 12.
+  EXPECT_EQ(cell.NumParams(), 24 + 12 + 36 + 12);
+}
+
+TEST(LstmCellTest, TrainableOnToyTask) {
+  // Learn to output the sign of the accumulated input sum.
+  Rng rng(5);
+  LstmCell cell(1, 6, rng);
+  Linear head(6, 1, rng);
+  std::vector<ag::Var> params = cell.Params();
+  head.CollectParams(&params);
+  Adam opt(params, 0.05);
+  Scalar first = 0.0, last = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    Scalar loss_value = 0.0;
+    for (Scalar sign : {1.0, -1.0}) {
+      auto state = cell.InitialState(1);
+      for (int k = 0; k < 4; ++k) {
+        ag::Var x = ag::Constant(Tensor::Full(Shape{1, 1}, sign * 0.5));
+        state = cell.Forward(x, state);
+      }
+      ag::Var pred = head.Forward(state.h);
+      ag::Var loss =
+          ag::MseLoss(pred, Tensor::Full(Shape{1, 1}, sign));
+      loss_value += loss.value().item();
+      loss.Backward();
+    }
+    if (step == 0) first = loss_value;
+    last = loss_value;
+    opt.StepAndZero();
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+}  // namespace
+}  // namespace diffode::nn

@@ -1,0 +1,120 @@
+#include "train/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sparsity/attention_image.h"
+#include "tensor/random.h"
+
+namespace diffode::train {
+namespace {
+
+TEST(RegressionMetricsTest, KnownErrors) {
+  RegressionMetrics metrics(2);
+  Tensor pred = Tensor::FromRows(2, 2, {1, 2, 3, 4});
+  Tensor target = Tensor::FromRows(2, 2, {0, 2, 3, 1});
+  Tensor mask = Tensor::Ones(Shape{2, 2});
+  metrics.Add(pred, target, mask);
+  // Errors: 1, 0, 0, 3.
+  EXPECT_EQ(metrics.count(), 4);
+  EXPECT_NEAR(metrics.Mae(), 1.0, 1e-12);
+  EXPECT_NEAR(metrics.Rmse(), std::sqrt(10.0 / 4.0), 1e-12);
+  EXPECT_NEAR(metrics.ChannelMae(0), 0.5, 1e-12);
+  EXPECT_NEAR(metrics.ChannelMae(1), 1.5, 1e-12);
+  EXPECT_NEAR(metrics.ChannelRmse(1), std::sqrt(4.5), 1e-12);
+}
+
+TEST(RegressionMetricsTest, MaskExcludesEntries) {
+  RegressionMetrics metrics(1);
+  Tensor pred = Tensor::FromRows(2, 1, {10, 1});
+  Tensor target = Tensor::FromRows(2, 1, {0, 0});
+  Tensor mask = Tensor::FromRows(2, 1, {0, 1});  // huge error masked out
+  metrics.Add(pred, target, mask);
+  EXPECT_EQ(metrics.count(), 1);
+  EXPECT_NEAR(metrics.Mae(), 1.0, 1e-12);
+}
+
+TEST(RegressionMetricsTest, EmptyIsZero) {
+  RegressionMetrics metrics(3);
+  EXPECT_EQ(metrics.count(), 0);
+  EXPECT_EQ(metrics.Mae(), 0.0);
+  EXPECT_EQ(metrics.Rmse(), 0.0);
+}
+
+TEST(RegressionMetricsTest, ReportMentionsChannels) {
+  RegressionMetrics metrics(2);
+  metrics.Add(Tensor::Ones(Shape{1, 2}), Tensor::Zeros(Shape{1, 2}),
+              Tensor::Ones(Shape{1, 2}));
+  const std::string report = metrics.Report();
+  EXPECT_NE(report.find("ch0"), std::string::npos);
+  EXPECT_NE(report.find("ch1"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, AccuracyPrecisionRecall) {
+  ConfusionMatrix cm(2);
+  // 3 true positives, 1 false positive, 2 true negatives, 1 false negative.
+  for (int i = 0; i < 3; ++i) cm.Add(1, 1);
+  cm.Add(1, 0);
+  for (int i = 0; i < 2; ++i) cm.Add(0, 0);
+  cm.Add(0, 1);
+  EXPECT_EQ(cm.count(), 7);
+  EXPECT_NEAR(cm.Accuracy(), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(cm.Precision(1), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(cm.Recall(1), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(cm.F1(1), 0.75, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, MacroF1AveragesClasses) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(1, 1);
+  cm.Add(2, 2);
+  EXPECT_NEAR(cm.MacroF1(), 1.0, 1e-12);
+  cm.Add(0, 1);
+  EXPECT_LT(cm.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassScoresZeroNotNan) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  EXPECT_EQ(cm.Precision(1), 0.0);
+  EXPECT_EQ(cm.Recall(1), 0.0);
+  EXPECT_EQ(cm.F1(1), 0.0);
+}
+
+TEST(AttentionImageTest, WritesValidPgm) {
+  Rng rng(1);
+  std::vector<Tensor> rows;
+  for (int i = 0; i < 5; ++i)
+    rows.push_back(rng.UniformTensor(Shape{1, 8}, 0.0, 1.0));
+  const std::string path = ::testing::TempDir() + "/attn.pgm";
+  ASSERT_TRUE(sparsity::WriteAttentionPgm(rows, path, 2));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 10);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(static_cast<std::size_t>(w * h));
+  in.read(pixels.data(), w * h);
+  EXPECT_EQ(in.gcount(), w * h);
+  std::remove(path.c_str());
+}
+
+TEST(AttentionImageTest, RejectsMismatchedRows) {
+  std::vector<Tensor> rows = {Tensor::Ones(Shape{1, 4}),
+                              Tensor::Ones(Shape{1, 5})};
+  EXPECT_FALSE(
+      sparsity::WriteAttentionPgm(rows, ::testing::TempDir() + "/bad.pgm"));
+  EXPECT_FALSE(sparsity::WriteAttentionPgm({}, "/tmp/never.pgm"));
+}
+
+}  // namespace
+}  // namespace diffode::train

@@ -1,0 +1,122 @@
+// Additional solver coverage: dense/pointwise equivalence, adaptive-solver
+// bookkeeping, and non-autonomous adjoint equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "ode/adjoint.h"
+#include "ode/solver.h"
+#include "tensor/random.h"
+
+namespace diffode::ode {
+namespace {
+
+TEST(SolverExtraTest, DenseGridEqualsChainedPointwise) {
+  // IntegrateDense must produce exactly the states a chained Integrate
+  // produces, because both step through the same grid.
+  OdeFunc f = [](Scalar t, const Tensor& y) {
+    return y * -0.3 + Tensor::Full(y.shape(), std::sin(t));
+  };
+  SolveOptions options;
+  options.method = Method::kRk4;
+  options.step = 0.05;
+  std::vector<Scalar> times = {0.0, 0.4, 1.1, 2.0};
+  auto dense = IntegrateDense(f, Tensor::Ones(Shape{1, 2}), times, options);
+  Tensor y = Tensor::Ones(Shape{1, 2});
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    y = Integrate(f, y, times[i - 1], times[i], options);
+    EXPECT_LT((dense[i] - y).MaxAbs(), 1e-14) << i;
+  }
+}
+
+TEST(SolverExtraTest, Dopri5CountsRejectionsOnAbruptDynamics) {
+  // A sharp transition forces the controller to reject at least once when
+  // starting from the default (large) initial step.
+  OdeFunc f = [](Scalar t, const Tensor& y) {
+    const Scalar pull = t > 1.0 ? -200.0 : -0.1;
+    return y * pull;
+  };
+  SolveOptions options;
+  options.method = Method::kDopri5;
+  options.rtol = 1e-8;
+  options.atol = 1e-10;
+  SolveStats stats;
+  Tensor y = Integrate(f, Tensor::Ones(Shape{1, 1}), 0.0, 2.0, options,
+                       &stats);
+  EXPECT_TRUE(y.AllFinite());
+  EXPECT_GT(stats.rejected_steps, 0);
+  EXPECT_GT(stats.steps, 10);
+}
+
+TEST(SolverExtraTest, FixedStepHonorsPartialFinalStep) {
+  // t-span not divisible by the step: the final short step must land
+  // exactly on t1 (validated through the exact solution).
+  OdeFunc f = [](Scalar, const Tensor& y) { return y * -1.0; };
+  SolveOptions options;
+  options.method = Method::kRk4;
+  options.step = 0.3;  // 0.3 does not divide 1.0
+  Tensor y = Integrate(f, Tensor::Ones(Shape{1, 1}), 0.0, 1.0, options);
+  // RK4 truncation at h = 0.3 dominates; a mishandled final step would be
+  // off by O(1e-1), not O(1e-5).
+  EXPECT_NEAR(y.item(), std::exp(-1.0), 1e-4);
+}
+
+TEST(SolverExtraTest, StatsCountRhsEvaluations) {
+  OdeFunc f = [](Scalar, const Tensor& y) { return y * -1.0; };
+  SolveOptions options;
+  options.method = Method::kRk4;
+  options.step = 0.1;
+  SolveStats stats;
+  Integrate(f, Tensor::Ones(Shape{1, 1}), 0.0, 1.0, options, &stats);
+  EXPECT_EQ(stats.steps, 10);
+  EXPECT_EQ(stats.rhs_evals, 40);  // 4 per RK4 step
+}
+
+TEST(SolverExtraTest, AdjointMatchesTapeForNonAutonomousField) {
+  // f depends on t explicitly (through a learned affine map of [y, t]).
+  Rng rng(1);
+  nn::Linear lift(3, 2, rng);
+  DiffOdeFunc f = [&](Scalar t, const ag::Var& y) {
+    ag::Var t_var = ag::Constant(Tensor::Full(Shape{1, 1}, t));
+    return ag::Tanh(lift.Forward(ag::ConcatCols({y, t_var})));
+  };
+  DiffSolveOptions options;
+  options.method = DiffMethod::kRk4;
+  options.step = 0.25;
+  Tensor y0 = rng.NormalTensor(Shape{1, 2});
+  Tensor seed = rng.NormalTensor(Shape{1, 2});
+  auto params = lift.Params();
+
+  for (auto& p : params) p.ZeroGrad();
+  ag::Var y0_var = ag::Var(y0, true);
+  IntegrateVar(f, y0_var, 0.0, 1.5, options).Backward(seed);
+  std::vector<Tensor> ref;
+  for (auto& p : params) ref.push_back(p.grad());
+  Tensor ref_dy0 = y0_var.grad();
+
+  for (auto& p : params) p.ZeroGrad();
+  AdjointResult result = AdjointSolve(f, y0, 0.0, 1.5, seed, options);
+  EXPECT_LT((result.dy0 - ref_dy0).MaxAbs(), 1e-10);
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_LT((params[i].grad() - ref[i]).MaxAbs(), 1e-10) << i;
+}
+
+TEST(SolverExtraTest, ImplicitAdamsOrderSelectionClamped) {
+  // adams_order outside [1, 4] is clamped rather than rejected.
+  OdeFunc f = [](Scalar, const Tensor& y) { return y * -1.0; };
+  SolveOptions options;
+  options.method = Method::kImplicitAdams;
+  options.step = 0.02;
+  options.adams_order = 99;
+  Tensor y = Integrate(f, Tensor::Ones(Shape{1, 1}), 0.0, 1.0, options);
+  EXPECT_NEAR(y.item(), std::exp(-1.0), 1e-6);
+  options.adams_order = 0;
+  y = Integrate(f, Tensor::Ones(Shape{1, 1}), 0.0, 1.0, options);
+  EXPECT_NEAR(y.item(), std::exp(-1.0), 1e-2);  // clamped to order 1
+}
+
+}  // namespace
+}  // namespace diffode::ode

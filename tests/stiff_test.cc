@@ -1,0 +1,158 @@
+// Implicit (stiff) solvers and dense output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hippo/hippo.h"
+#include "ode/dense_output.h"
+#include "ode/stiff.h"
+
+namespace diffode::ode {
+namespace {
+
+OdeFunc ExpDecay(Scalar k) {
+  return [k](Scalar, const Tensor& y) { return y * -k; };
+}
+
+TEST(StiffTest, ImplicitEulerAccuracyMildProblem) {
+  StiffOptions options;
+  options.step = 0.01;
+  Tensor y = ImplicitEulerIntegrate(ExpDecay(1.0), Tensor::Ones(Shape{1, 1}),
+                                    0.0, 1.0, options);
+  EXPECT_NEAR(y.item(), std::exp(-1.0), 5e-3);  // first order
+}
+
+TEST(StiffTest, TrapezoidalSecondOrderConvergence) {
+  auto solve = [&](Scalar h) {
+    StiffOptions options;
+    options.step = h;
+    return TrapezoidalIntegrate(ExpDecay(1.0), Tensor::Ones(Shape{1, 1}), 0.0,
+                                1.0, options)
+        .item();
+  };
+  const Scalar exact = std::exp(-1.0);
+  const Scalar e1 = std::fabs(solve(0.1) - exact);
+  const Scalar e2 = std::fabs(solve(0.05) - exact);
+  EXPECT_NEAR(e1 / e2, 4.0, 1.0);
+}
+
+TEST(StiffTest, StableOnStiffProblemWhereExplicitExplodes) {
+  // lambda = -1000, step 0.1: explicit Euler amplification |1 + h*l| = 99;
+  // implicit methods must decay monotonically.
+  const Scalar k = 1000.0;
+  StiffOptions options;
+  options.step = 0.1;
+  Tensor y_ie = ImplicitEulerIntegrate(ExpDecay(k), Tensor::Ones(Shape{1, 1}),
+                                       0.0, 1.0, options);
+  EXPECT_LT(std::fabs(y_ie.item()), 1e-6);
+  Tensor y_tr = TrapezoidalIntegrate(ExpDecay(k), Tensor::Ones(Shape{1, 1}),
+                                     0.0, 1.0, options);
+  EXPECT_LT(std::fabs(y_tr.item()), 1.0);
+  // The explicit comparison point:
+  ode::SolveOptions explicit_options;
+  explicit_options.method = ode::Method::kEuler;
+  explicit_options.step = 0.1;
+  Tensor y_explicit = Integrate(ExpDecay(k), Tensor::Ones(Shape{1, 1}), 0.0,
+                                1.0, explicit_options);
+  EXPECT_GT(std::fabs(y_explicit.item()), 1e6);
+}
+
+TEST(StiffTest, HandlesRawHippoLegsBlock) {
+  // The motivating case from DESIGN.md §5.1: the unscaled LegS block that
+  // explodes under explicit midpoint at step 0.5 is handled implicitly.
+  Tensor a = hippo::MakeLegsA(12);
+  OdeFunc f = [&a](Scalar, const Tensor& c) { return a.MatMul(c); };
+  StiffOptions options;
+  options.step = 0.5;
+  Tensor c0 = Tensor::Full(Shape{12, 1}, 0.1);
+  Tensor c = TrapezoidalIntegrate(f, c0, 0.0, 10.0, options);
+  EXPECT_TRUE(c.AllFinite());
+  EXPECT_LT(c.Norm(), c0.Norm());
+}
+
+TEST(StiffTest, NonlinearNewtonConvergence) {
+  // y' = -y^3, y(0)=1: solution y(t) = 1/sqrt(1+2t).
+  OdeFunc f = [](Scalar, const Tensor& y) {
+    return y.Map([](Scalar v) { return -v * v * v; });
+  };
+  StiffOptions options;
+  options.step = 0.02;
+  Tensor y = TrapezoidalIntegrate(f, Tensor::Ones(Shape{1, 1}), 0.0, 2.0,
+                                  options);
+  EXPECT_NEAR(y.item(), 1.0 / std::sqrt(5.0), 1e-4);
+}
+
+TEST(StiffTest, MultiDimensionalCoupledSystem) {
+  // Rotation + damping: y' = [[-0.1,-1],[1,-0.1]] y; |y(t)| = e^{-0.1 t}.
+  Tensor a = Tensor::FromRows(2, 2, {-0.1, -1.0, 1.0, -0.1});
+  OdeFunc f = [&a](Scalar, const Tensor& y) {
+    return y.MatMul(a.Transposed());
+  };
+  StiffOptions options;
+  options.step = 0.01;
+  Tensor y = TrapezoidalIntegrate(f, Tensor::FromRows(1, 2, {1.0, 0.0}), 0.0,
+                                  3.0, options);
+  EXPECT_NEAR(y.Norm(), std::exp(-0.3), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Dense output.
+// ---------------------------------------------------------------------------
+
+TEST(DenseOutputTest, MatchesExactSolutionBetweenNodes) {
+  DenseSolution dense(ExpDecay(1.0), Tensor::Ones(Shape{1, 1}), 0.0, 2.0,
+                      0.2);
+  for (Scalar t = 0.05; t < 2.0; t += 0.13)
+    EXPECT_NEAR(dense.Evaluate(t).item(), std::exp(-t), 1e-5) << t;
+}
+
+TEST(DenseOutputTest, DerivativeMatchesRhs) {
+  DenseSolution dense(ExpDecay(1.0), Tensor::Ones(Shape{1, 1}), 0.0, 1.0,
+                      0.1);
+  for (Scalar t = 0.05; t < 1.0; t += 0.17)
+    EXPECT_NEAR(dense.Derivative(t).item(), -std::exp(-t), 1e-4) << t;
+}
+
+TEST(DenseOutputTest, NodesAreExact) {
+  DenseSolution dense(ExpDecay(2.0), Tensor::Ones(Shape{1, 1}), 0.0, 1.0,
+                      0.25);
+  for (std::size_t i = 0; i < dense.times().size(); ++i) {
+    const Scalar t = dense.times()[i];
+    EXPECT_LT((dense.Evaluate(t) - dense.states()[i]).MaxAbs(), 1e-12);
+  }
+}
+
+TEST(DenseOutputTest, BackwardTimeSpan) {
+  DenseSolution dense(ExpDecay(1.0), Tensor::Ones(Shape{1, 1}), 0.0, -1.0,
+                      0.1);
+  EXPECT_NEAR(dense.Evaluate(-0.5).item(), std::exp(0.5), 1e-5);
+  EXPECT_NEAR(dense.t_min(), -1.0, 1e-12);
+  EXPECT_NEAR(dense.t_max(), 0.0, 1e-12);
+}
+
+TEST(DenseOutputTest, ClampsOutsideSpan) {
+  DenseSolution dense(ExpDecay(1.0), Tensor::Ones(Shape{1, 1}), 0.0, 1.0,
+                      0.1);
+  EXPECT_NEAR(dense.Evaluate(5.0).item(), dense.Evaluate(1.0).item(), 1e-12);
+  EXPECT_NEAR(dense.Evaluate(-5.0).item(), dense.Evaluate(0.0).item(), 1e-12);
+}
+
+TEST(DenseOutputTest, OscillatorAccuracy) {
+  OdeFunc rotation = [](Scalar, const Tensor& y) {
+    Tensor d(y.shape());
+    d[0] = -y[1];
+    d[1] = y[0];
+    return d;
+  };
+  DenseSolution dense(rotation, Tensor::FromVector({1.0, 0.0}), 0.0, 6.28,
+                      0.05);
+  for (Scalar t = 0.3; t < 6.0; t += 0.71) {
+    Tensor y = dense.Evaluate(t);
+    EXPECT_NEAR(y[0], std::cos(t), 1e-4);
+    EXPECT_NEAR(y[1], std::sin(t), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace diffode::ode

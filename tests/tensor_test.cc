@@ -1,0 +1,185 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.h"
+
+namespace diffode {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{3, 4};
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.dim(0), 3);
+  EXPECT_EQ(s.dim(1), 4);
+  EXPECT_EQ(s.numel(), 12);
+  EXPECT_EQ(s.ToString(), "[3, 4]");
+  EXPECT_EQ(Shape{}.numel(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(TensorTest, FactoriesAndAccess) {
+  Tensor z = Tensor::Zeros(Shape{2, 2});
+  EXPECT_EQ(z.Sum(), 0.0);
+  Tensor o = Tensor::Ones(Shape{2, 2});
+  EXPECT_EQ(o.Sum(), 4.0);
+  Tensor f = Tensor::Full(Shape{3}, 2.5);
+  EXPECT_DOUBLE_EQ(f.Mean(), 2.5);
+  Tensor eye = Tensor::Eye(3);
+  EXPECT_DOUBLE_EQ(eye.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Tensor::FromScalar(7.0).item(), 7.0);
+}
+
+TEST(TensorTest, RowColVectorFactories) {
+  Tensor r = Tensor::RowVector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  Tensor c = Tensor::ColVector({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 1);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::FromRows(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromRows(2, 2, {10, 20, 30, 40});
+  Tensor sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.at(1, 1), 44.0);
+  Tensor diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.at(0, 0), 9.0);
+  Tensor prod = a * b;
+  EXPECT_DOUBLE_EQ(prod.at(0, 1), 40.0);
+  Tensor scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.at(1, 0), 6.0);
+  Tensor quot = b.CwiseQuotient(a);
+  EXPECT_DOUBLE_EQ(quot.at(1, 1), 10.0);
+  Tensor neg = -a;
+  EXPECT_DOUBLE_EQ(neg.at(0, 0), -1.0);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromRows(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(TensorTest, TransposeRoundTrip) {
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{4, 3});
+  Tensor round = a.Transposed().Transposed();
+  EXPECT_DOUBLE_EQ((round - a).MaxAbs(), 0.0);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a = Tensor::FromRows(2, 3, {1, -2, 3, 4, -5, 6});
+  EXPECT_DOUBLE_EQ(a.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 6.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 6.0);
+  EXPECT_NEAR(a.Norm(), std::sqrt(1 + 4 + 9 + 16 + 25 + 36), 1e-12);
+  Tensor rs = a.RowSums();
+  EXPECT_DOUBLE_EQ(rs.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(rs.at(1, 0), 5.0);
+  Tensor cs = a.ColSums();
+  EXPECT_DOUBLE_EQ(cs.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(cs.at(0, 1), -7.0);
+}
+
+TEST(TensorTest, DotProduct) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 32.0);
+}
+
+TEST(TensorTest, SliceRowsAndCols) {
+  Tensor a = Tensor::FromRows(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor r = a.Row(1);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 4.0);
+  Tensor rows = a.Rows(1, 2);
+  EXPECT_EQ(rows.rows(), 2);
+  EXPECT_DOUBLE_EQ(rows.at(1, 1), 6.0);
+  Tensor c = a.Col(0);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), 5.0);
+}
+
+TEST(TensorTest, SetRow) {
+  Tensor a = Tensor::Zeros(Shape{2, 3});
+  a.SetRow(1, Tensor::RowVector({7, 8, 9}));
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 9.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(TensorTest, ConcatRowsCols) {
+  Tensor a = Tensor::FromRows(1, 2, {1, 2});
+  Tensor b = Tensor::FromRows(2, 2, {3, 4, 5, 6});
+  Tensor rows = Tensor::ConcatRows({a, b});
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_DOUBLE_EQ(rows.at(2, 1), 6.0);
+  Tensor c = Tensor::FromRows(2, 1, {9, 10});
+  Tensor cols = Tensor::ConcatCols({b, c});
+  EXPECT_EQ(cols.cols(), 3);
+  EXPECT_DOUBLE_EQ(cols.at(1, 2), 10.0);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshaped(Shape{3, 2});
+  EXPECT_DOUBLE_EQ(b.at(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 2.0);
+}
+
+TEST(TensorTest, MapAppliesFunction) {
+  Tensor a = Tensor::FromVector({1, 4, 9});
+  Tensor s = a.Map([](Scalar x) { return std::sqrt(x); });
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+}
+
+TEST(TensorTest, AllFinite) {
+  Tensor a = Tensor::Ones(Shape{2});
+  EXPECT_TRUE(a.AllFinite());
+  a[0] = std::numeric_limits<Scalar>::quiet_NaN();
+  EXPECT_FALSE(a.AllFinite());
+  a[0] = std::numeric_limits<Scalar>::infinity();
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(RngTest, Determinism) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Normal(), b.Normal());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Scalar u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, NormalTensorMoments) {
+  Rng rng(7);
+  Tensor t = rng.NormalTensor(Shape{10000}, 1.0, 2.0);
+  EXPECT_NEAR(t.Mean(), 1.0, 0.1);
+  Scalar var = 0.0;
+  for (Index i = 0; i < t.numel(); ++i) {
+    const Scalar d = t[i] - t.Mean();
+    var += d * d;
+  }
+  var /= static_cast<Scalar>(t.numel());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace diffode
