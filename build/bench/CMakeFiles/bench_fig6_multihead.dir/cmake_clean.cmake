@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multihead.dir/bench_fig6_multihead.cc.o"
+  "CMakeFiles/bench_fig6_multihead.dir/bench_fig6_multihead.cc.o.d"
+  "bench_fig6_multihead"
+  "bench_fig6_multihead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multihead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

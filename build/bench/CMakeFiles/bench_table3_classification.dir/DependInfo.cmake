@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_classification.cc" "bench/CMakeFiles/bench_table3_classification.dir/bench_table3_classification.cc.o" "gcc" "bench/CMakeFiles/bench_table3_classification.dir/bench_table3_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diffode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/diffode_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/diffode_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/diffode_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hippo/CMakeFiles/diffode_hippo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsity/CMakeFiles/diffode_sparsity.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diffode_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/diffode_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diffode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/diffode_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/diffode_train.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_interpolation.dir/bench_table4_interpolation.cc.o"
+  "CMakeFiles/bench_table4_interpolation.dir/bench_table4_interpolation.cc.o.d"
+  "bench_table4_interpolation"
+  "bench_table4_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

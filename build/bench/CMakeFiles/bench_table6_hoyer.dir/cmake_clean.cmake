@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hoyer.dir/bench_table6_hoyer.cc.o"
+  "CMakeFiles/bench_table6_hoyer.dir/bench_table6_hoyer.cc.o.d"
+  "bench_table6_hoyer"
+  "bench_table6_hoyer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hoyer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

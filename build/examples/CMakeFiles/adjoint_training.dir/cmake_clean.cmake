@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjoint_training.dir/adjoint_training.cc.o"
+  "CMakeFiles/adjoint_training.dir/adjoint_training.cc.o.d"
+  "adjoint_training"
+  "adjoint_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjoint_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

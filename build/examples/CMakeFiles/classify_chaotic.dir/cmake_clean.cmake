@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_chaotic.dir/classify_chaotic.cc.o"
+  "CMakeFiles/classify_chaotic.dir/classify_chaotic.cc.o.d"
+  "classify_chaotic"
+  "classify_chaotic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_chaotic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for classify_chaotic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_interpolation.dir/climate_interpolation.cc.o"
+  "CMakeFiles/climate_interpolation.dir/climate_interpolation.cc.o.d"
+  "climate_interpolation"
+  "climate_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_cli.dir/diffode_cli.cc.o"
+  "CMakeFiles/diffode_cli.dir/diffode_cli.cc.o.d"
+  "diffode_cli"
+  "diffode_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

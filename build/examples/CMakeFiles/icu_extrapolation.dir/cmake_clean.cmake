@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icu_extrapolation.dir/icu_extrapolation.cc.o"
+  "CMakeFiles/icu_extrapolation.dir/icu_extrapolation.cc.o.d"
+  "icu_extrapolation"
+  "icu_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icu_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("linalg")
+subdirs("autograd")
+subdirs("ode")
+subdirs("hippo")
+subdirs("sparsity")
+subdirs("nn")
+subdirs("data")
+subdirs("core")
+subdirs("baselines")
+subdirs("train")

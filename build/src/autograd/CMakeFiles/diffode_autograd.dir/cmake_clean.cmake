@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_autograd.dir/ops.cc.o"
+  "CMakeFiles/diffode_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/diffode_autograd.dir/ops_linalg.cc.o"
+  "CMakeFiles/diffode_autograd.dir/ops_linalg.cc.o.d"
+  "CMakeFiles/diffode_autograd.dir/variable.cc.o"
+  "CMakeFiles/diffode_autograd.dir/variable.cc.o.d"
+  "libdiffode_autograd.a"
+  "libdiffode_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attention_models.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/attention_models.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/attention_models.cc.o.d"
+  "/root/repo/src/baselines/gru_baselines.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/gru_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/gru_baselines.cc.o.d"
+  "/root/repo/src/baselines/hippo_models.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/hippo_models.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/hippo_models.cc.o.d"
+  "/root/repo/src/baselines/jump_ode_base.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/jump_ode_base.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/jump_ode_base.cc.o.d"
+  "/root/repo/src/baselines/latent_ode.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/latent_ode.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/latent_ode.cc.o.d"
+  "/root/repo/src/baselines/neural_cde.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/neural_cde.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/neural_cde.cc.o.d"
+  "/root/repo/src/baselines/nrde.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/nrde.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/nrde.cc.o.d"
+  "/root/repo/src/baselines/ode_lstm.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/ode_lstm.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/ode_lstm.cc.o.d"
+  "/root/repo/src/baselines/zoo.cc" "src/baselines/CMakeFiles/diffode_baselines.dir/zoo.cc.o" "gcc" "src/baselines/CMakeFiles/diffode_baselines.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diffode_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/diffode_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diffode_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/diffode_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hippo/CMakeFiles/diffode_hippo.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/diffode_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsity/CMakeFiles/diffode_sparsity.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/diffode_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diffode_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

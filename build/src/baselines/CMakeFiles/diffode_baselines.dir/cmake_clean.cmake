@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_baselines.dir/attention_models.cc.o"
+  "CMakeFiles/diffode_baselines.dir/attention_models.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/gru_baselines.cc.o"
+  "CMakeFiles/diffode_baselines.dir/gru_baselines.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/hippo_models.cc.o"
+  "CMakeFiles/diffode_baselines.dir/hippo_models.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/jump_ode_base.cc.o"
+  "CMakeFiles/diffode_baselines.dir/jump_ode_base.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/latent_ode.cc.o"
+  "CMakeFiles/diffode_baselines.dir/latent_ode.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/neural_cde.cc.o"
+  "CMakeFiles/diffode_baselines.dir/neural_cde.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/nrde.cc.o"
+  "CMakeFiles/diffode_baselines.dir/nrde.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/ode_lstm.cc.o"
+  "CMakeFiles/diffode_baselines.dir/ode_lstm.cc.o.d"
+  "CMakeFiles/diffode_baselines.dir/zoo.cc.o"
+  "CMakeFiles/diffode_baselines.dir/zoo.cc.o.d"
+  "libdiffode_baselines.a"
+  "libdiffode_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_core.dir/dhs.cc.o"
+  "CMakeFiles/diffode_core.dir/dhs.cc.o.d"
+  "CMakeFiles/diffode_core.dir/diffode_model.cc.o"
+  "CMakeFiles/diffode_core.dir/diffode_model.cc.o.d"
+  "libdiffode_core.a"
+  "libdiffode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

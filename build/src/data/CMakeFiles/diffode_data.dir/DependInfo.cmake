@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/diffode_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/diffode_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/encoding.cc" "src/data/CMakeFiles/diffode_data.dir/encoding.cc.o" "gcc" "src/data/CMakeFiles/diffode_data.dir/encoding.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/diffode_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/diffode_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/data/CMakeFiles/diffode_data.dir/splits.cc.o" "gcc" "src/data/CMakeFiles/diffode_data.dir/splits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diffode_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

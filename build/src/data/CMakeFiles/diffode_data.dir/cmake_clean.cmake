@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_data.dir/csv_loader.cc.o"
+  "CMakeFiles/diffode_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/diffode_data.dir/encoding.cc.o"
+  "CMakeFiles/diffode_data.dir/encoding.cc.o.d"
+  "CMakeFiles/diffode_data.dir/generators.cc.o"
+  "CMakeFiles/diffode_data.dir/generators.cc.o.d"
+  "CMakeFiles/diffode_data.dir/splits.cc.o"
+  "CMakeFiles/diffode_data.dir/splits.cc.o.d"
+  "libdiffode_data.a"
+  "libdiffode_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

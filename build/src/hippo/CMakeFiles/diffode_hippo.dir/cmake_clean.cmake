@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_hippo.dir/hippo.cc.o"
+  "CMakeFiles/diffode_hippo.dir/hippo.cc.o.d"
+  "libdiffode_hippo.a"
+  "libdiffode_hippo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_hippo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/diffode_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/diffode_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/diffode_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/diffode_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/linalg/CMakeFiles/diffode_linalg.dir/lu.cc.o" "gcc" "src/linalg/CMakeFiles/diffode_linalg.dir/lu.cc.o.d"
+  "/root/repo/src/linalg/pinv.cc" "src/linalg/CMakeFiles/diffode_linalg.dir/pinv.cc.o" "gcc" "src/linalg/CMakeFiles/diffode_linalg.dir/pinv.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/linalg/CMakeFiles/diffode_linalg.dir/qr.cc.o" "gcc" "src/linalg/CMakeFiles/diffode_linalg.dir/qr.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/diffode_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/diffode_linalg.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diffode_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

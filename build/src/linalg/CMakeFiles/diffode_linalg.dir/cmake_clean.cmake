@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/diffode_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/diffode_linalg.dir/eigen.cc.o"
+  "CMakeFiles/diffode_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/diffode_linalg.dir/lu.cc.o"
+  "CMakeFiles/diffode_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/diffode_linalg.dir/pinv.cc.o"
+  "CMakeFiles/diffode_linalg.dir/pinv.cc.o.d"
+  "CMakeFiles/diffode_linalg.dir/qr.cc.o"
+  "CMakeFiles/diffode_linalg.dir/qr.cc.o.d"
+  "CMakeFiles/diffode_linalg.dir/svd.cc.o"
+  "CMakeFiles/diffode_linalg.dir/svd.cc.o.d"
+  "libdiffode_linalg.a"
+  "libdiffode_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

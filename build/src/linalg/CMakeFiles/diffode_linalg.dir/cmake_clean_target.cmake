@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiffode_linalg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_nn.dir/serialize.cc.o"
+  "CMakeFiles/diffode_nn.dir/serialize.cc.o.d"
+  "libdiffode_nn.a"
+  "libdiffode_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

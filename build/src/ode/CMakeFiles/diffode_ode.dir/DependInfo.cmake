@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/adjoint.cc" "src/ode/CMakeFiles/diffode_ode.dir/adjoint.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/adjoint.cc.o.d"
+  "/root/repo/src/ode/cubic_spline.cc" "src/ode/CMakeFiles/diffode_ode.dir/cubic_spline.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/cubic_spline.cc.o.d"
+  "/root/repo/src/ode/dense_output.cc" "src/ode/CMakeFiles/diffode_ode.dir/dense_output.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/dense_output.cc.o.d"
+  "/root/repo/src/ode/diff_integrator.cc" "src/ode/CMakeFiles/diffode_ode.dir/diff_integrator.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/diff_integrator.cc.o.d"
+  "/root/repo/src/ode/dopri5.cc" "src/ode/CMakeFiles/diffode_ode.dir/dopri5.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/dopri5.cc.o.d"
+  "/root/repo/src/ode/explicit_solvers.cc" "src/ode/CMakeFiles/diffode_ode.dir/explicit_solvers.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/explicit_solvers.cc.o.d"
+  "/root/repo/src/ode/implicit_adams.cc" "src/ode/CMakeFiles/diffode_ode.dir/implicit_adams.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/implicit_adams.cc.o.d"
+  "/root/repo/src/ode/stiff.cc" "src/ode/CMakeFiles/diffode_ode.dir/stiff.cc.o" "gcc" "src/ode/CMakeFiles/diffode_ode.dir/stiff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diffode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/diffode_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/diffode_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_ode.dir/adjoint.cc.o"
+  "CMakeFiles/diffode_ode.dir/adjoint.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/cubic_spline.cc.o"
+  "CMakeFiles/diffode_ode.dir/cubic_spline.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/dense_output.cc.o"
+  "CMakeFiles/diffode_ode.dir/dense_output.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/diff_integrator.cc.o"
+  "CMakeFiles/diffode_ode.dir/diff_integrator.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/dopri5.cc.o"
+  "CMakeFiles/diffode_ode.dir/dopri5.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/explicit_solvers.cc.o"
+  "CMakeFiles/diffode_ode.dir/explicit_solvers.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/implicit_adams.cc.o"
+  "CMakeFiles/diffode_ode.dir/implicit_adams.cc.o.d"
+  "CMakeFiles/diffode_ode.dir/stiff.cc.o"
+  "CMakeFiles/diffode_ode.dir/stiff.cc.o.d"
+  "libdiffode_ode.a"
+  "libdiffode_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

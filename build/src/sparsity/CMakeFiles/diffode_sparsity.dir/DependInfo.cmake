@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparsity/attention_image.cc" "src/sparsity/CMakeFiles/diffode_sparsity.dir/attention_image.cc.o" "gcc" "src/sparsity/CMakeFiles/diffode_sparsity.dir/attention_image.cc.o.d"
+  "/root/repo/src/sparsity/hoyer.cc" "src/sparsity/CMakeFiles/diffode_sparsity.dir/hoyer.cc.o" "gcc" "src/sparsity/CMakeFiles/diffode_sparsity.dir/hoyer.cc.o.d"
+  "/root/repo/src/sparsity/pt_solver.cc" "src/sparsity/CMakeFiles/diffode_sparsity.dir/pt_solver.cc.o" "gcc" "src/sparsity/CMakeFiles/diffode_sparsity.dir/pt_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diffode_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/diffode_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

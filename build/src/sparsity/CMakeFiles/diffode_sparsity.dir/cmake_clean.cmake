@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_sparsity.dir/attention_image.cc.o"
+  "CMakeFiles/diffode_sparsity.dir/attention_image.cc.o.d"
+  "CMakeFiles/diffode_sparsity.dir/hoyer.cc.o"
+  "CMakeFiles/diffode_sparsity.dir/hoyer.cc.o.d"
+  "CMakeFiles/diffode_sparsity.dir/pt_solver.cc.o"
+  "CMakeFiles/diffode_sparsity.dir/pt_solver.cc.o.d"
+  "libdiffode_sparsity.a"
+  "libdiffode_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

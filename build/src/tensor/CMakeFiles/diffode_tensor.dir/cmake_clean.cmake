@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_tensor.dir/tensor.cc.o"
+  "CMakeFiles/diffode_tensor.dir/tensor.cc.o.d"
+  "libdiffode_tensor.a"
+  "libdiffode_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

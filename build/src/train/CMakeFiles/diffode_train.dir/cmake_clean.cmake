@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_train.dir/metrics.cc.o"
+  "CMakeFiles/diffode_train.dir/metrics.cc.o.d"
+  "CMakeFiles/diffode_train.dir/trainer.cc.o"
+  "CMakeFiles/diffode_train.dir/trainer.cc.o.d"
+  "libdiffode_train.a"
+  "libdiffode_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

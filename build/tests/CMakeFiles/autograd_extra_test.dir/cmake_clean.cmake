@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_extra_test.dir/autograd_extra_test.cc.o"
+  "CMakeFiles/autograd_extra_test.dir/autograd_extra_test.cc.o.d"
+  "autograd_extra_test"
+  "autograd_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubic_spline_test.dir/cubic_spline_test.cc.o"
+  "CMakeFiles/cubic_spline_test.dir/cubic_spline_test.cc.o.d"
+  "cubic_spline_test"
+  "cubic_spline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubic_spline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

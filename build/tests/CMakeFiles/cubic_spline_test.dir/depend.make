@@ -1,0 +1,2 @@
+# Empty dependencies file for cubic_spline_test.
+# This may be replaced when dependencies are built.

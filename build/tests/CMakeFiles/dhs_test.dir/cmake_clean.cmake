@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_test.dir/dhs_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs_test.cc.o.d"
+  "dhs_test"
+  "dhs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffode_model_test.dir/diffode_model_test.cc.o"
+  "CMakeFiles/diffode_model_test.dir/diffode_model_test.cc.o.d"
+  "diffode_model_test"
+  "diffode_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffode_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_test.dir/hippo_test.cc.o"
+  "CMakeFiles/hippo_test.dir/hippo_test.cc.o.d"
+  "hippo_test"
+  "hippo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

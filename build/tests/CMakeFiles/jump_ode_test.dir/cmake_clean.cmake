@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jump_ode_test.dir/jump_ode_test.cc.o"
+  "CMakeFiles/jump_ode_test.dir/jump_ode_test.cc.o.d"
+  "jump_ode_test"
+  "jump_ode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jump_ode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

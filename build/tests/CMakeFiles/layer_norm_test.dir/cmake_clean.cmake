@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_norm_test.dir/layer_norm_test.cc.o"
+  "CMakeFiles/layer_norm_test.dir/layer_norm_test.cc.o.d"
+  "layer_norm_test"
+  "layer_norm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_norm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stiff_test.dir/stiff_test.cc.o"
+  "CMakeFiles/stiff_test.dir/stiff_test.cc.o.d"
+  "stiff_test"
+  "stiff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
