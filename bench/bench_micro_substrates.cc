@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/dhs.h"
+#include "core/parallel.h"
 #include "linalg/pinv.h"
 #include "ode/solver.h"
 #include "sparsity/pt_solver.h"
+#include "tensor/kernels.h"
 #include "tensor/random.h"
 
 namespace diffode {
@@ -22,7 +24,92 @@ void BM_MatMul(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(a.MatMul(b));
   state.SetComplexityN(n);
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+// The seed repository's unblocked triple loop, kept verbatim as the yardstick
+// for the blocked/unrolled kernels::Gemm (the ratio BM_MatMul / BM_GemmNaive
+// at equal n is the kernel speedup).
+void BM_GemmNaive(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{n, n});
+  Tensor b = rng.NormalTensor(Shape{n, n});
+  for (auto _ : state) {
+    Tensor out(Shape{n, n});
+    for (Index i = 0; i < n; ++i) {
+      for (Index p = 0; p < n; ++p) {
+        const Scalar aip = a.at(i, p);
+        if (aip == 0.0) continue;
+        for (Index j = 0; j < n; ++j) out.at(i, j) += aip * b.at(p, j);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{n, n});
+  Tensor b = rng.NormalTensor(Shape{n, n});
+  for (auto _ : state) benchmark::DoNotOptimize(a.TransposedMatMul(b));
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.NormalTensor(Shape{n, n});
+  Tensor b = rng.NormalTensor(Shape{n, n});
+  for (auto _ : state) benchmark::DoNotOptimize(a.MatMulTransposed(b));
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128)->Arg(256);
+
+// Fused templated-functor map vs the std::function-based Tensor::Map.
+void BM_FusedElementwise(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor x = rng.NormalTensor(Shape{n});
+  Tensor out(Shape{n});
+  for (auto _ : state) {
+    kernels::Map(n, x.data(), out.data(),
+                 [](Scalar v) { return v * v + 1.0; });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FusedElementwise)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_TensorMapElementwise(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  Tensor x = rng.NormalTensor(Shape{n});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(x.Map([](Scalar v) { return v * v + 1.0; }));
+}
+BENCHMARK(BM_TensorMapElementwise)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// ParallelFor scaling over the thread-count axis (Arg = pool size). The work
+// is a chunked saxpy large enough to dwarf the dispatch overhead.
+void BM_ParallelFor(benchmark::State& state) {
+  parallel::ThreadPool::SetNumThreads(static_cast<int>(state.range(0)));
+  const Index n = 1 << 22;
+  Rng rng(1);
+  Tensor x = rng.NormalTensor(Shape{n});
+  Tensor y = rng.NormalTensor(Shape{n});
+  for (auto _ : state) {
+    parallel::ParallelFor(0, n, kernels::kElementwiseGrain,
+                          [&](Index b, Index e) {
+                            Scalar* yp = y.data();
+                            const Scalar* xp = x.data();
+                            for (Index i = b; i < e; ++i)
+                              yp[i] += 0.5 * xp[i];
+                          });
+    benchmark::DoNotOptimize(y);
+  }
+  parallel::ThreadPool::SetNumThreads(0);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_PInverseSvd(benchmark::State& state) {
   const Index n = state.range(0);

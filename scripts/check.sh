@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification: builds and runs the full test suite serially and in
+# parallel, then rebuilds the threading-relevant tests under ThreadSanitizer.
+#
+#   scripts/check.sh            # full sweep
+#   SKIP_TSAN=1 scripts/check.sh  # plain build + tests only
+#
+# The determinism contract (docs/performance.md) makes DIFFODE_NUM_THREADS=1
+# and =4 produce bitwise-identical results, so running both configurations is
+# a regression gate, not a flake source.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . > /dev/null
+cmake --build build -j > /dev/null
+
+echo "== tier-1: ctest, DIFFODE_NUM_THREADS=1 =="
+(cd build && DIFFODE_NUM_THREADS=1 ctest --output-on-failure -j)
+
+echo "== tier-1: ctest, default thread count =="
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tsan: configure + build (-DDIFFODE_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DDIFFODE_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j \
+    --target kernels_test trainer_test tensor_test autograd_test > /dev/null
+
+  echo "== tsan: threading-relevant tests, DIFFODE_NUM_THREADS=4 =="
+  (cd build-tsan && DIFFODE_NUM_THREADS=4 ctest --output-on-failure \
+    -R 'kernels_test|trainer_test|tensor_test|autograd_test')
+fi
+
+echo "== check.sh: all green =="

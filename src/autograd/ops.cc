@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace diffode::ag {
 namespace {
 
@@ -23,8 +25,16 @@ Var MakeNode(Tensor value, std::vector<Var> parents,
 }
 
 void Accumulate(const std::shared_ptr<Node>& n, const Tensor& g) {
-  n->EnsureGrad();
-  n->grad += g;
+  n->AccumulateGrad(g);
+}
+
+// Fused elementwise derivative scatter: parent_grad += zip(g, v).
+template <typename F>
+void AccumulateZip(const std::shared_ptr<Node>& n, const Tensor& g,
+                   const Tensor& v, F fn) {
+  Tensor out(g.shape());
+  kernels::Zip(g.numel(), g.data(), v.data(), out.data(), fn);
+  n->AccumulateGrad(out);
 }
 
 }  // namespace
@@ -45,18 +55,24 @@ Var Sub(const Var& a, const Var& b) {
 
 Var Mul(const Var& a, const Var& b) {
   return MakeNode(a.value() * b.value(), {a, b}, [](Node& n) {
-    Accumulate(n.parents[0], n.grad * n.parents[1]->value);
-    Accumulate(n.parents[1], n.grad * n.parents[0]->value);
+    AccumulateZip(n.parents[0], n.grad, n.parents[1]->value,
+                  [](Scalar g, Scalar v) { return g * v; });
+    AccumulateZip(n.parents[1], n.grad, n.parents[0]->value,
+                  [](Scalar g, Scalar v) { return g * v; });
   });
 }
 
 Var Div(const Var& a, const Var& b) {
   return MakeNode(a.value().CwiseQuotient(b.value()), {a, b}, [](Node& n) {
     const Tensor& bv = n.parents[1]->value;
-    Tensor ga = n.grad.CwiseQuotient(bv);
-    Accumulate(n.parents[0], ga);
+    AccumulateZip(n.parents[0], n.grad, bv,
+                  [](Scalar g, Scalar v) { return g / v; });
     // d/db (a/b) = -a / b^2 = -(a/b)/b = -value/b
-    Accumulate(n.parents[1], -(n.grad * n.value.CwiseQuotient(bv)));
+    Tensor gb(n.grad.shape());
+    kernels::Zip(n.grad.numel(), n.grad.data(), n.value.data(), gb.data(),
+                 [](Scalar g, Scalar y) { return g * y; });
+    AccumulateZip(n.parents[1], gb, bv,
+                  [](Scalar g, Scalar v) { return -g / v; });
   });
 }
 
@@ -104,8 +120,19 @@ Var MatMul(const Var& a, const Var& b) {
   return MakeNode(a.value().MatMul(b.value()), {a, b}, [](Node& n) {
     const Tensor& av = n.parents[0]->value;
     const Tensor& bv = n.parents[1]->value;
-    Accumulate(n.parents[0], n.grad.MatMul(bv.Transposed()));
-    Accumulate(n.parents[1], av.Transposed().MatMul(n.grad));
+    // dA = G B^T, dB = A^T G — transpose-free GEMM variants.
+    Accumulate(n.parents[0], n.grad.MatMulTransposed(bv));
+    Accumulate(n.parents[1], av.TransposedMatMul(n.grad));
+  });
+}
+
+Var MatMulNT(const Var& a, const Var& b) {
+  return MakeNode(a.value().MatMulTransposed(b.value()), {a, b}, [](Node& n) {
+    const Tensor& av = n.parents[0]->value;
+    const Tensor& bv = n.parents[1]->value;
+    // C = A B^T: dA = G B, dB = G^T A.
+    Accumulate(n.parents[0], n.grad.MatMul(bv));
+    Accumulate(n.parents[1], n.grad.TransposedMatMul(av));
   });
 }
 
@@ -125,8 +152,14 @@ Var AddRowVec(const Var& m, const Var& v) {
   DIFFODE_CHECK_EQ(m.cols(), v.cols());
   DIFFODE_CHECK_EQ(v.rows(), 1);
   Tensor out = m.value();
-  for (Index i = 0; i < out.rows(); ++i)
-    for (Index j = 0; j < out.cols(); ++j) out.at(i, j) += v.value().at(0, j);
+  {
+    const Index r = out.rows();
+    const Index c = out.cols();
+    Scalar* o = out.data();
+    const Scalar* vv = v.value().data();
+    for (Index i = 0; i < r; ++i)
+      for (Index j = 0; j < c; ++j) o[i * c + j] += vv[j];
+  }
   return MakeNode(std::move(out), {m, v}, [](Node& n) {
     Accumulate(n.parents[0], n.grad);
     Accumulate(n.parents[1], n.grad.ColSums());
@@ -137,17 +170,31 @@ Var MulRowVec(const Var& m, const Var& v) {
   DIFFODE_CHECK_EQ(m.cols(), v.cols());
   DIFFODE_CHECK_EQ(v.rows(), 1);
   Tensor out = m.value();
-  for (Index i = 0; i < out.rows(); ++i)
-    for (Index j = 0; j < out.cols(); ++j) out.at(i, j) *= v.value().at(0, j);
+  {
+    const Index r = out.rows();
+    const Index c = out.cols();
+    Scalar* o = out.data();
+    const Scalar* vv = v.value().data();
+    for (Index i = 0; i < r; ++i)
+      for (Index j = 0; j < c; ++j) o[i * c + j] *= vv[j];
+  }
   return MakeNode(std::move(out), {m, v}, [](Node& n) {
     const Tensor& mv = n.parents[0]->value;
     const Tensor& vv = n.parents[1]->value;
+    const Index r = mv.rows();
+    const Index c = mv.cols();
     Tensor gm(mv.shape());
     Tensor gv(vv.shape());
-    for (Index i = 0; i < mv.rows(); ++i) {
-      for (Index j = 0; j < mv.cols(); ++j) {
-        gm.at(i, j) = n.grad.at(i, j) * vv.at(0, j);
-        gv.at(0, j) += n.grad.at(i, j) * mv.at(i, j);
+    const Scalar* g = n.grad.data();
+    const Scalar* mp = mv.data();
+    const Scalar* vp = vv.data();
+    Scalar* gmp = gm.data();
+    Scalar* gvp = gv.data();
+    for (Index i = 0; i < r; ++i) {
+      for (Index j = 0; j < c; ++j) {
+        const Scalar gij = g[i * c + j];
+        gmp[i * c + j] = gij * vp[j];
+        gvp[j] += gij * mp[i * c + j];
       }
     }
     Accumulate(n.parents[0], gm);
@@ -162,19 +209,23 @@ Var LayerNormRows(const Var& a, Scalar eps) {
   DIFFODE_CHECK_GT(c, 0);
   Tensor y(x.shape());
   Tensor inv_sigma(Shape{r, 1});
+  const Scalar* xp = x.data();
+  Scalar* yp = y.data();
   for (Index i = 0; i < r; ++i) {
+    const Scalar* xi = xp + i * c;
+    Scalar* yi = yp + i * c;
     Scalar mean = 0.0;
-    for (Index j = 0; j < c; ++j) mean += x.at(i, j);
+    for (Index j = 0; j < c; ++j) mean += xi[j];
     mean /= static_cast<Scalar>(c);
     Scalar var = 0.0;
     for (Index j = 0; j < c; ++j) {
-      const Scalar d = x.at(i, j) - mean;
+      const Scalar d = xi[j] - mean;
       var += d * d;
     }
     var /= static_cast<Scalar>(c);
     const Scalar inv = 1.0 / std::sqrt(var + eps);
-    inv_sigma.at(i, 0) = inv;
-    for (Index j = 0; j < c; ++j) y.at(i, j) = (x.at(i, j) - mean) * inv;
+    inv_sigma[i] = inv;
+    for (Index j = 0; j < c; ++j) yi[j] = (xi[j] - mean) * inv;
   }
   return MakeNode(std::move(y), {a}, [inv_sigma](Node& n) {
     // Per row: dx = (g - mean(g) - y * mean(g .* y)) * inv_sigma.
@@ -182,18 +233,23 @@ Var LayerNormRows(const Var& a, Scalar eps) {
     const Index r = y.rows();
     const Index c = y.cols();
     Tensor gx(y.shape());
+    const Scalar* yp = y.data();
+    const Scalar* gp = n.grad.data();
+    Scalar* gxp = gx.data();
     for (Index i = 0; i < r; ++i) {
+      const Scalar* yi = yp + i * c;
+      const Scalar* gi = gp + i * c;
+      Scalar* gxi = gxp + i * c;
       Scalar g_mean = 0.0, gy_mean = 0.0;
       for (Index j = 0; j < c; ++j) {
-        g_mean += n.grad.at(i, j);
-        gy_mean += n.grad.at(i, j) * y.at(i, j);
+        g_mean += gi[j];
+        gy_mean += gi[j] * yi[j];
       }
       g_mean /= static_cast<Scalar>(c);
       gy_mean /= static_cast<Scalar>(c);
-      for (Index j = 0; j < c; ++j) {
-        gx.at(i, j) = (n.grad.at(i, j) - g_mean - y.at(i, j) * gy_mean) *
-                      inv_sigma.at(i, 0);
-      }
+      const Scalar inv = inv_sigma[i];
+      for (Index j = 0; j < c; ++j)
+        gxi[j] = (gi[j] - g_mean - yi[j] * gy_mean) * inv;
     }
     Accumulate(n.parents[0], gx);
   });
@@ -204,109 +260,124 @@ Var Softmax(const Var& a) {
   Tensor y(x.shape());
   const Index r = x.rows();
   const Index c = x.cols();
+  const Scalar* xp = x.data();
+  Scalar* yp = y.data();
   for (Index i = 0; i < r; ++i) {
-    Scalar m = x.at(i, 0);
-    for (Index j = 1; j < c; ++j) m = std::max(m, x.at(i, j));
+    const Scalar* xi = xp + i * c;
+    Scalar* yi = yp + i * c;
+    Scalar m = xi[0];
+    for (Index j = 1; j < c; ++j) m = std::max(m, xi[j]);
     Scalar z = 0.0;
     for (Index j = 0; j < c; ++j) {
-      const Scalar e = std::exp(x.at(i, j) - m);
-      y.at(i, j) = e;
+      const Scalar e = std::exp(xi[j] - m);
+      yi[j] = e;
       z += e;
     }
-    for (Index j = 0; j < c; ++j) y.at(i, j) /= z;
+    const Scalar inv_z = 1.0 / z;
+    for (Index j = 0; j < c; ++j) yi[j] *= inv_z;
   }
   return MakeNode(std::move(y), {a}, [](Node& n) {
     // Per row: dx = y .* (g - (g . y))
     const Tensor& y = n.value;
+    const Index r = y.rows();
+    const Index c = y.cols();
     Tensor gx(y.shape());
-    for (Index i = 0; i < y.rows(); ++i) {
+    const Scalar* yp = y.data();
+    const Scalar* gp = n.grad.data();
+    Scalar* gxp = gx.data();
+    for (Index i = 0; i < r; ++i) {
+      const Scalar* yi = yp + i * c;
+      const Scalar* gi = gp + i * c;
+      Scalar* gxi = gxp + i * c;
       Scalar gy = 0.0;
-      for (Index j = 0; j < y.cols(); ++j) gy += n.grad.at(i, j) * y.at(i, j);
-      for (Index j = 0; j < y.cols(); ++j)
-        gx.at(i, j) = y.at(i, j) * (n.grad.at(i, j) - gy);
+      for (Index j = 0; j < c; ++j) gy += gi[j] * yi[j];
+      for (Index j = 0; j < c; ++j) gxi[j] = yi[j] * (gi[j] - gy);
     }
     Accumulate(n.parents[0], gx);
   });
 }
 
+namespace {
+
+// Shared shape for unary elementwise ops: forward maps x through Fwd, the
+// backward multiplies the incoming gradient elementwise via Bwd(g, v) where
+// v is the saved forward OUTPUT (value-based derivative).
+template <typename Fwd, typename Bwd>
+Var UnaryFromValue(const Var& a, Fwd fwd, Bwd bwd) {
+  const Tensor& x = a.value();
+  Tensor y(x.shape());
+  kernels::Map(x.numel(), x.data(), y.data(), fwd);
+  return MakeNode(std::move(y), {a}, [bwd](Node& n) {
+    AccumulateZip(n.parents[0], n.grad, n.value, bwd);
+  });
+}
+
+// As above but the derivative reads the forward INPUT.
+template <typename Fwd, typename Bwd>
+Var UnaryFromInput(const Var& a, Fwd fwd, Bwd bwd) {
+  const Tensor& x = a.value();
+  Tensor y(x.shape());
+  kernels::Map(x.numel(), x.data(), y.data(), fwd);
+  return MakeNode(std::move(y), {a}, [bwd](Node& n) {
+    AccumulateZip(n.parents[0], n.grad, n.parents[0]->value, bwd);
+  });
+}
+
+}  // namespace
+
 Var Tanh(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return std::tanh(x); }), {a},
-                  [](Node& n) {
-                    Tensor g = n.grad;
-                    for (Index i = 0; i < g.numel(); ++i)
-                      g[i] *= 1.0 - n.value[i] * n.value[i];
-                    Accumulate(n.parents[0], g);
-                  });
+  return UnaryFromValue(
+      a, [](Scalar x) { return std::tanh(x); },
+      [](Scalar g, Scalar y) { return g * (1.0 - y * y); });
 }
 
 Var Sigmoid(const Var& a) {
-  return MakeNode(
-      a.value().Map([](Scalar x) { return 1.0 / (1.0 + std::exp(-x)); }), {a},
-      [](Node& n) {
-        Tensor g = n.grad;
-        for (Index i = 0; i < g.numel(); ++i)
-          g[i] *= n.value[i] * (1.0 - n.value[i]);
-        Accumulate(n.parents[0], g);
-      });
+  return UnaryFromValue(
+      a, [](Scalar x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](Scalar g, Scalar y) { return g * y * (1.0 - y); });
 }
 
 Var Relu(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return x > 0 ? x : 0.0; }), {a},
-                  [](Node& n) {
-                    Tensor g = n.grad;
-                    for (Index i = 0; i < g.numel(); ++i)
-                      if (n.parents[0]->value[i] <= 0) g[i] = 0.0;
-                    Accumulate(n.parents[0], g);
-                  });
+  return UnaryFromInput(
+      a, [](Scalar x) { return x > 0 ? x : 0.0; },
+      [](Scalar g, Scalar x) { return x > 0 ? g : 0.0; });
 }
 
 Var Exp(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return std::exp(x); }), {a},
-                  [](Node& n) { Accumulate(n.parents[0], n.grad * n.value); });
+  return UnaryFromValue(
+      a, [](Scalar x) { return std::exp(x); },
+      [](Scalar g, Scalar y) { return g * y; });
 }
 
 Var Log(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return std::log(x); }), {a},
-                  [](Node& n) {
-                    Accumulate(n.parents[0],
-                               n.grad.CwiseQuotient(n.parents[0]->value));
-                  });
+  return UnaryFromInput(
+      a, [](Scalar x) { return std::log(x); },
+      [](Scalar g, Scalar x) { return g / x; });
 }
 
 Var Sqrt(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return std::sqrt(x); }), {a},
-                  [](Node& n) {
-                    Tensor g = n.grad;
-                    for (Index i = 0; i < g.numel(); ++i)
-                      g[i] *= 0.5 / n.value[i];
-                    Accumulate(n.parents[0], g);
-                  });
+  return UnaryFromValue(
+      a, [](Scalar x) { return std::sqrt(x); },
+      [](Scalar g, Scalar y) { return g * 0.5 / y; });
 }
 
 Var Square(const Var& a) {
   return MakeNode(a.value() * a.value(), {a}, [](Node& n) {
-    Accumulate(n.parents[0], n.grad * n.parents[0]->value * 2.0);
+    AccumulateZip(n.parents[0], n.grad, n.parents[0]->value,
+                  [](Scalar g, Scalar x) { return 2.0 * g * x; });
   });
 }
 
 Var Sin(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return std::sin(x); }), {a},
-                  [](Node& n) {
-                    Tensor g = n.grad;
-                    for (Index i = 0; i < g.numel(); ++i)
-                      g[i] *= std::cos(n.parents[0]->value[i]);
-                    Accumulate(n.parents[0], g);
-                  });
+  return UnaryFromInput(
+      a, [](Scalar x) { return std::sin(x); },
+      [](Scalar g, Scalar x) { return g * std::cos(x); });
 }
 
 Var Cos(const Var& a) {
-  return MakeNode(a.value().Map([](Scalar x) { return std::cos(x); }), {a},
-                  [](Node& n) {
-                    Tensor g = n.grad;
-                    for (Index i = 0; i < g.numel(); ++i)
-                      g[i] *= -std::sin(n.parents[0]->value[i]);
-                    Accumulate(n.parents[0], g);
-                  });
+  return UnaryFromInput(
+      a, [](Scalar x) { return std::cos(x); },
+      [](Scalar g, Scalar x) { return -g * std::sin(x); });
 }
 
 Var Sum(const Var& a) {
@@ -353,14 +424,19 @@ Var ConcatCols(const std::vector<Var>& parts) {
   return MakeNode(Tensor::ConcatCols(values),
                   std::vector<Var>(parts.begin(), parts.end()),
                   [widths](Node& n) {
+                    const Index total = n.grad.cols();
+                    const Scalar* gp = n.grad.data();
                     Index c = 0;
                     for (std::size_t k = 0; k < widths.size(); ++k) {
                       Tensor g(n.parents[k]->value.shape());
-                      for (Index i = 0; i < g.rows(); ++i)
-                        for (Index j = 0; j < widths[k]; ++j)
-                          g.at(i, j) = n.grad.at(i, c + j);
+                      const Index r = g.rows();
+                      const Index w = widths[k];
+                      Scalar* out = g.data();
+                      for (Index i = 0; i < r; ++i)
+                        for (Index j = 0; j < w; ++j)
+                          out[i * w + j] = gp[i * total + c + j];
                       Accumulate(n.parents[k], g);
-                      c += widths[k];
+                      c += w;
                     }
                   });
 }
@@ -379,11 +455,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
                   [heights](Node& n) {
                     Index r = 0;
                     for (std::size_t k = 0; k < heights.size(); ++k) {
-                      Tensor g(n.parents[k]->value.shape());
-                      for (Index i = 0; i < heights[k]; ++i)
-                        for (Index j = 0; j < g.cols(); ++j)
-                          g.at(i, j) = n.grad.at(r + i, j);
-                      Accumulate(n.parents[k], g);
+                      Accumulate(n.parents[k], n.grad.Rows(r, heights[k]));
                       r += heights[k];
                     }
                   });
@@ -393,13 +465,24 @@ Var SliceCols(const Var& a, Index begin, Index count) {
   DIFFODE_CHECK_GE(begin, 0);
   DIFFODE_CHECK_LE(begin + count, a.cols());
   const Index r = a.rows();
+  const Index total = a.cols();
   Tensor out(Shape{r, count});
-  for (Index i = 0; i < r; ++i)
-    for (Index j = 0; j < count; ++j) out.at(i, j) = a.value().at(i, begin + j);
+  {
+    const Scalar* src = a.value().data();
+    Scalar* dst = out.data();
+    for (Index i = 0; i < r; ++i)
+      for (Index j = 0; j < count; ++j)
+        dst[i * count + j] = src[i * total + begin + j];
+  }
   return MakeNode(std::move(out), {a}, [begin, count](Node& n) {
     Tensor g(n.parents[0]->value.shape());
-    for (Index i = 0; i < n.grad.rows(); ++i)
-      for (Index j = 0; j < count; ++j) g.at(i, begin + j) = n.grad.at(i, j);
+    const Index r = n.grad.rows();
+    const Index total = g.cols();
+    const Scalar* gp = n.grad.data();
+    Scalar* out = g.data();
+    for (Index i = 0; i < r; ++i)
+      for (Index j = 0; j < count; ++j)
+        out[i * total + begin + j] = gp[i * count + j];
     Accumulate(n.parents[0], g);
   });
 }
@@ -407,9 +490,11 @@ Var SliceCols(const Var& a, Index begin, Index count) {
 Var SliceRows(const Var& a, Index begin, Index count) {
   return MakeNode(a.value().Rows(begin, count), {a}, [begin, count](Node& n) {
     Tensor g(n.parents[0]->value.shape());
-    for (Index i = 0; i < count; ++i)
-      for (Index j = 0; j < n.grad.cols(); ++j)
-        g.at(begin + i, j) = n.grad.at(i, j);
+    const Index c = n.grad.cols();
+    std::size_t offset = static_cast<std::size_t>(begin * c);
+    const Scalar* gp = n.grad.data();
+    Scalar* out = g.data() + offset;
+    for (Index i = 0; i < count * c; ++i) out[i] = gp[i];
     Accumulate(n.parents[0], g);
   });
 }
@@ -445,30 +530,37 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels) {
   DIFFODE_CHECK_EQ(static_cast<Index>(labels.size()), b);
   const Tensor& x = logits.value();
   Tensor probs(x.shape());
+  const Scalar* xp = x.data();
+  Scalar* pp = probs.data();
   Scalar loss = 0.0;
   for (Index i = 0; i < b; ++i) {
-    Scalar m = x.at(i, 0);
-    for (Index j = 1; j < c; ++j) m = std::max(m, x.at(i, j));
+    const Scalar* xi = xp + i * c;
+    Scalar* pi = pp + i * c;
+    Scalar m = xi[0];
+    for (Index j = 1; j < c; ++j) m = std::max(m, xi[j]);
     Scalar z = 0.0;
     for (Index j = 0; j < c; ++j) {
-      const Scalar e = std::exp(x.at(i, j) - m);
-      probs.at(i, j) = e;
+      const Scalar e = std::exp(xi[j] - m);
+      pi[j] = e;
       z += e;
     }
-    for (Index j = 0; j < c; ++j) probs.at(i, j) /= z;
+    const Scalar inv_z = 1.0 / z;
+    for (Index j = 0; j < c; ++j) pi[j] *= inv_z;
     const Index label = labels[static_cast<std::size_t>(i)];
     DIFFODE_CHECK_GE(label, 0);
     DIFFODE_CHECK_LT(label, c);
-    loss -= std::log(std::max(probs.at(i, label), 1e-300));
+    loss -= std::log(std::max(pi[label], 1e-300));
   }
   Tensor out(Shape{1, 1});
   out[0] = loss / static_cast<Scalar>(b);
   return MakeNode(std::move(out), {logits}, [probs, labels](Node& n) {
     Tensor g = probs;
     const Scalar scale = n.grad[0] / static_cast<Scalar>(g.rows());
+    const Index c = g.cols();
+    Scalar* gp = g.data();
     for (Index i = 0; i < g.rows(); ++i) {
-      g.at(i, labels[static_cast<std::size_t>(i)]) -= 1.0;
-      for (Index j = 0; j < g.cols(); ++j) g.at(i, j) *= scale;
+      gp[i * c + labels[static_cast<std::size_t>(i)]] -= 1.0;
+      for (Index j = 0; j < c; ++j) gp[i * c + j] *= scale;
     }
     Accumulate(n.parents[0], g);
   });

@@ -29,6 +29,8 @@ Var MulByScalarVar(const Var& a, const Var& s);
 
 // Matrix ops (2-D).
 Var MatMul(const Var& a, const Var& b);
+// a * b^T without materializing the transpose (attention scores Q K^T).
+Var MatMulNT(const Var& a, const Var& b);
 Var Transpose(const Var& a);
 Var Reshape(const Var& a, Shape shape);
 

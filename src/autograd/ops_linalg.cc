@@ -13,11 +13,10 @@ Var MakeInverseNode(const Var& a, Tensor inv) {
   node->requires_grad = a.node()->requires_grad || bool(a.node()->backward_fn);
   if (node->requires_grad) {
     node->backward_fn = [](Node& n) {
-      // d/dA of A^{-1}: dA = -A^{-T} G A^{-T}.
-      const Tensor inv_t = n.value.Transposed();
-      Tensor ga = inv_t.MatMul(n.grad).MatMul(inv_t) * -1.0;
-      n.parents[0]->EnsureGrad();
-      n.parents[0]->grad += ga;
+      // d/dA of A^{-1}: dA = -A^{-T} G A^{-T}, via the transpose-free GEMMs.
+      const Tensor& inv = n.value;
+      Tensor ga = inv.TransposedMatMul(n.grad).MatMulTransposed(inv) * -1.0;
+      n.parents[0]->AccumulateGrad(ga);
     };
   }
   return Var(std::move(node));

@@ -28,7 +28,73 @@ void TopoSort(Node* root, std::vector<Node*>* order) {
   }
 }
 
+thread_local GradSink* tls_sink = nullptr;
+
 }  // namespace
+
+void Node::AccumulateGrad(const Tensor& g) {
+  if (GradSink* sink = tls_sink) {
+    if (sink->Accumulate(this, g)) return;
+    // Unregistered leaves that don't require grad are shared read-only
+    // inputs under data-parallel training; drop their gradients rather than
+    // racing on them (nothing reads a constant's gradient).
+    if (!requires_grad && !backward_fn && parents.empty()) return;
+  }
+  EnsureGrad();
+  grad += g;
+}
+
+GradSink::GradSink(const std::vector<Var>& params) {
+  nodes_.reserve(params.size());
+  grads_.resize(params.size());
+  for (const auto& p : params) {
+    DIFFODE_CHECK(p.defined());
+    index_.emplace(p.node().get(), nodes_.size());
+    nodes_.push_back(p.node());
+  }
+}
+
+bool GradSink::Accumulate(const Node* node, const Tensor& g) {
+  auto it = index_.find(node);
+  if (it == index_.end()) return false;
+  Tensor& buf = grads_[it->second];
+  if (buf.shape() != node->value.shape()) buf = Tensor(node->value.shape());
+  buf += g;
+  return true;
+}
+
+void GradSink::MergeFrom(const GradSink& other) {
+  DIFFODE_CHECK_EQ(static_cast<Index>(nodes_.size()),
+                   static_cast<Index>(other.nodes_.size()));
+  for (std::size_t i = 0; i < grads_.size(); ++i) {
+    const Tensor& theirs = other.grads_[i];
+    if (theirs.empty()) continue;
+    Tensor& mine = grads_[i];
+    if (mine.empty()) {
+      mine = theirs;
+    } else {
+      mine += theirs;
+    }
+  }
+}
+
+void GradSink::FlushToNodes() {
+  for (std::size_t i = 0; i < grads_.size(); ++i) {
+    if (grads_[i].empty()) continue;
+    Node* n = nodes_[i].get();
+    n->EnsureGrad();
+    n->grad += grads_[i];
+  }
+}
+
+GradSink* GradSink::Active() { return tls_sink; }
+
+GradSink::Scope::Scope(GradSink* sink) {
+  DIFFODE_CHECK(tls_sink == nullptr);
+  tls_sink = sink;
+}
+
+GradSink::Scope::~Scope() { tls_sink = nullptr; }
 
 void Var::Backward() { Backward(Tensor::Ones(node_->value.shape())); }
 
@@ -37,8 +103,7 @@ void Var::Backward(const Tensor& seed) {
   DIFFODE_CHECK(seed.shape() == node_->value.shape());
   std::vector<Node*> order;
   TopoSort(node_.get(), &order);
-  node_->EnsureGrad();
-  node_->grad += seed;
+  node_->AccumulateGrad(seed);
   // Post-order places dependencies first; walk from the root backwards.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;

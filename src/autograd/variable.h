@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -24,6 +25,60 @@ struct Node {
   void EnsureGrad() {
     if (grad.shape() != value.shape()) grad = Tensor(value.shape());
   }
+
+  // Accumulates g into this node's gradient. Every backward_fn must route
+  // gradient scatter through this (not `grad +=` directly): when a GradSink
+  // scope is active on the current thread, gradients of registered
+  // (parameter) nodes are redirected into the sink's private buffers so that
+  // concurrent Backward() calls over tapes sharing parameters never race.
+  void AccumulateGrad(const Tensor& g);
+};
+
+// A private parameter-gradient buffer for one shard of a data-parallel
+// batch. Construct one per shard over the model's parameter list, install it
+// with a Scope for the duration of the shard's forward/backward, then merge
+// shards deterministically and flush into the shared parameter nodes from a
+// single thread:
+//
+//   ag::GradSink sink(params);
+//   {
+//     ag::GradSink::Scope scope(&sink);
+//     loss.Backward();               // param grads land in `sink`
+//   }
+//   sink_a.MergeFrom(sink_b);        // fixed merge order => deterministic
+//   sink_a.FlushToNodes();           // node->grad += buffer
+//
+// While a scope is active, gradients of *unregistered* leaf nodes that do
+// not require grad (shared constants) are dropped instead of accumulated:
+// nothing reads them, and writing would race across shards.
+class GradSink {
+ public:
+  explicit GradSink(const std::vector<class Var>& params);
+
+  // Accumulates into the buffer for `node` if registered; false otherwise.
+  bool Accumulate(const Node* node, const Tensor& g);
+  // Adds other's buffers into this one (parameter registration order).
+  void MergeFrom(const GradSink& other);
+  // Adds the buffered gradients into the registered nodes' grad fields.
+  // Call from one thread only, with no scope active.
+  void FlushToNodes();
+
+  // The sink installed on the current thread, or nullptr.
+  static GradSink* Active();
+
+  // RAII installer; scopes may not nest on a thread.
+  class Scope {
+   public:
+    explicit Scope(GradSink* sink);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+ private:
+  std::vector<std::shared_ptr<Node>> nodes_;  // registration order
+  std::vector<Tensor> grads_;                 // lazily shaped, same order
+  std::unordered_map<const Node*, std::size_t> index_;
 };
 
 // Lightweight handle to a tape node (shared ownership).

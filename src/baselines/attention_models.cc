@@ -52,7 +52,7 @@ ag::Var MtanBaseline::Attend(const Keys& keys,
   const Scalar scale =
       1.0 / std::sqrt(static_cast<Scalar>(config_.time_embed_dim));
   ag::Var logits = ag::MulScalar(
-      ag::MatMul(query_embed, ag::Transpose(keys.key_embed)), scale);
+      ag::MatMulNT(query_embed, keys.key_embed), scale);
   return ag::MatMul(ag::Softmax(logits), keys.values);
 }
 
@@ -143,7 +143,7 @@ ag::Var ContiFormerBaseline::RepresentationAt(const Keys& keys,
   ag::Var q = ag::Tanh(query_proj_->Forward(q_embed));
   const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(config_.hidden_dim));
   ag::Var logits =
-      ag::MulScalar(ag::MatMul(q, ag::Transpose(keys.key_proj)), scale);
+      ag::MulScalar(ag::MatMulNT(q, keys.key_proj), scale);
   ag::Var attended = ag::MatMul(ag::Softmax(logits), keys.latents);
   // Continuous refinement: flow the attended vector over the gap to the
   // nearest observation (0 when the query coincides with one).

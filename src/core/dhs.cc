@@ -27,22 +27,21 @@ DhsContext BuildDhsContext(const ag::Var& z, Scalar ridge) {
 ag::Var DhsForward(const DhsContext& ctx, const ag::Var& z_query) {
   const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(ctx.d));
   ag::Var logits =
-      ag::MulScalar(ag::MatMul(z_query, ag::Transpose(ctx.z)), scale);
+      ag::MulScalar(ag::MatMulNT(z_query, ctx.z), scale);
   return ag::MatMul(ag::Softmax(logits), ctx.z);
 }
 
 ag::Var RecoverPVar(const DhsContext& ctx, const ag::Var& s,
                     sparsity::PtStrategy strategy, const ag::Var& h_ada) {
   // b = S (Zᵀ)†ᵀ, 1 x n.
-  ag::Var b = ag::MatMul(s, ag::Transpose(ctx.zt_pinv));
+  ag::Var b = ag::MatMulNT(s, ctx.zt_pinv);
   switch (strategy) {
     case sparsity::PtStrategy::kMinNorm:
       return b;
     case sparsity::PtStrategy::kAdaH: {
       DIFFODE_CHECK(h_ada.defined());
       // p = b + h A_p with A_p = I - (Zᵀ)† Zᵀ (symmetric).
-      ag::Var h_proj = ag::MatMul(ag::MatMul(h_ada, ctx.zt_pinv),
-                                  ag::Transpose(ctx.z));
+      ag::Var h_proj = ag::MatMulNT(ag::MatMul(h_ada, ctx.zt_pinv), ctx.z);
       return ag::Add(b, ag::Sub(h_ada, h_proj));
     }
     case sparsity::PtStrategy::kExactKkt:
@@ -78,7 +77,7 @@ ag::Var RecoverZVar(const DhsContext& ctx, const ag::Var& p,
 ag::Var DhsDerivative(const DhsContext& ctx, const ag::Var& w,
                       const ag::Var& p) {
   const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(ctx.d));
-  ag::Var u = ag::MatMul(w, ag::Transpose(ctx.z));      // 1 x n
+  ag::Var u = ag::MatMulNT(w, ctx.z);                   // 1 x n
   ag::Var term1 = ag::MatMul(ag::Mul(u, p), ctx.z);     // 1 x d
   ag::Var up = ag::Dot(u, p);                           // 1 x 1
   ag::Var term2 = ag::MulByScalarVar(ag::MatMul(p, ctx.z), up);

@@ -119,7 +119,7 @@ DiffOde::Encoded DiffOde::Encode(const data::IrregularSeries& context) const {
     // the per-row norm is all that's needed.
     const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(config_.latent_dim));
     ag::Var logits =
-        ag::MulScalar(ag::MatMul(enc.z, ag::Transpose(enc.z)), scale);
+        ag::MulScalar(ag::MatMulNT(enc.z, enc.z), scale);
     ag::Var p = ag::Softmax(logits);                       // n x n
     ag::Var row_sq = ag::MatMul(ag::Mul(p, p),
                                 ag::Constant(Tensor::Ones(Shape{n, 1})));
@@ -130,9 +130,15 @@ DiffOde::Encoded DiffOde::Encode(const data::IrregularSeries& context) const {
     ag::Var one_minus_hoyer = ag::MulScalar(
         ag::AddScalar(ag::Mean(inv_norms), -1.0), 1.0 / (sqrt_n - 1.0));
     ag::Var term = ag::MulScalar(one_minus_hoyer, config_.hoyer_weight);
-    aux_loss_ = aux_loss_.defined() ? ag::Add(aux_loss_, term) : term;
+    AddAuxiliaryLoss(term);
   }
   return enc;
+}
+
+void DiffOde::AddAuxiliaryLoss(const ag::Var& term) const {
+  std::lock_guard<std::mutex> lock(aux_mu_);
+  ag::Var& slot = aux_loss_[std::this_thread::get_id()];
+  slot = slot.defined() ? ag::Add(slot, term) : term;
 }
 
 ag::Var DiffOde::InitialState(const Encoded& enc) const {
@@ -294,8 +300,7 @@ std::vector<ag::Var> DiffOde::StatesAt(
       ag::Var scaled = ag::MulScalar(
           anchor_acc,
           config_.consistency_weight / static_cast<Scalar>(anchor_count));
-      aux_loss_ =
-          aux_loss_.defined() ? ag::Add(aux_loss_, scaled) : scaled;
+      AddAuxiliaryLoss(scaled);
     }
   }
   // Backward chain.

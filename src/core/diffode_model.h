@@ -2,6 +2,9 @@
 #define DIFFODE_CORE_DIFFODE_MODEL_H_
 
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -35,9 +38,14 @@ class DiffOde : public SequenceModel {
                                  const std::vector<Scalar>& times) override;
   void CollectParams(std::vector<ag::Var>* out) const override;
   std::string name() const override { return "DIFFODE"; }
+  // Takes (and clears) the aux loss accumulated by forwards on the *calling*
+  // thread; under data-parallel training each shard collects only its own.
   ag::Var TakeAuxiliaryLoss() override {
-    ag::Var out = aux_loss_;
-    aux_loss_ = ag::Var();
+    std::lock_guard<std::mutex> lock(aux_mu_);
+    auto it = aux_loss_.find(std::this_thread::get_id());
+    if (it == aux_loss_.end()) return ag::Var();
+    ag::Var out = it->second;
+    aux_loss_.erase(it);
     return out;
   }
 
@@ -83,10 +91,16 @@ class DiffOde : public SequenceModel {
   Index StateDim() const;
   Index ReadoutDim() const;
 
+  // Adds a DHS consistency / sparsity term to this thread's aux loss.
+  void AddAuxiliaryLoss(const ag::Var& term) const;
+
   DiffOdeConfig config_;
   mutable Rng rng_;
   ode::DiffMethod diff_method_ = ode::DiffMethod::kMidpoint;
-  mutable ag::Var aux_loss_;  // DHS consistency term from the last forward
+  // Aux-loss terms from forwards, keyed by the thread that ran them so that
+  // concurrent shards of a data-parallel batch never share tape state.
+  mutable std::mutex aux_mu_;
+  mutable std::unordered_map<std::thread::id, ag::Var> aux_loss_;
 
   std::unique_ptr<nn::GruCell> gru_encoder_;
   std::unique_ptr<nn::Mlp> mlp_encoder_;

@@ -1,0 +1,145 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace diffode::parallel {
+namespace {
+
+// Depth of pool involvement on this thread: pool workers run at depth >= 1
+// permanently, callers bump it while participating in their own Run. Any
+// Run issued at depth > 0 executes inline (rule 2 in the class comment).
+thread_local int tls_pool_depth = 0;
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("DIFFODE_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ExecuteChunks(Job* job) {
+  for (;;) {
+    const Index i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->total) break;
+    (*job->fn)(i);
+    job->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_pool_depth = 1;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (!job) continue;
+    ExecuteChunks(job.get());
+    // Wake the caller; its predicate re-checks the done count under mu_.
+    std::lock_guard<std::mutex> lk(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(Index num_tasks, const std::function<void(Index)>& fn) {
+  if (num_tasks <= 0) return;
+  if (num_tasks == 1 || num_threads_ == 1 || tls_pool_depth > 0) {
+    ++tls_pool_depth;
+    for (Index i = 0; i < num_tasks; ++i) fn(i);
+    --tls_pool_depth;
+    return;
+  }
+  std::lock_guard<std::mutex> run_lk(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->total = num_tasks;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  ++tls_pool_depth;
+  ExecuteChunks(job.get());
+  --tls_pool_depth;
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return job->done.load(std::memory_order_acquire) >= job->total;
+  });
+  job_ = nullptr;
+}
+
+ThreadPool& ThreadPool::Get() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultNumThreads());
+  return *g_pool;
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool = std::make_unique<ThreadPool>(n > 0 ? n : DefaultNumThreads());
+}
+
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index)>& fn) {
+  const Index n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const Index chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool::Get().Run(chunks, [&](Index c) {
+    const Index b = begin + c * grain;
+    fn(b, std::min(end, b + grain));
+  });
+}
+
+Scalar ReduceSum(Index begin, Index end, Index grain,
+                 const std::function<Scalar(Index, Index)>& fn) {
+  const Index n = end - begin;
+  if (n <= 0) return 0.0;
+  if (grain < 1) grain = 1;
+  const Index chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) return fn(begin, end);
+  std::vector<Scalar> partials(static_cast<std::size_t>(chunks), 0.0);
+  ThreadPool::Get().Run(chunks, [&](Index c) {
+    const Index b = begin + c * grain;
+    partials[static_cast<std::size_t>(c)] = fn(b, std::min(end, b + grain));
+  });
+  Scalar total = 0.0;
+  for (Scalar p : partials) total += p;
+  return total;
+}
+
+}  // namespace diffode::parallel

@@ -1,0 +1,98 @@
+#ifndef DIFFODE_CORE_PARALLEL_H_
+#define DIFFODE_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace diffode {
+// Keep the numeric alias identical to tensor/tensor.h; parallel sits below
+// the tensor layer so it cannot include it.
+using Scalar = double;
+}  // namespace diffode
+
+namespace diffode::parallel {
+
+// Shared fixed-size thread pool behind every parallel kernel and the
+// data-parallel trainer. Design constraints, in order:
+//   1. Determinism: work is split into chunks whose boundaries depend only on
+//      the problem size and grain, never on the thread count, so any code
+//      whose chunks write disjoint outputs (or that reduces partials in chunk
+//      order) is bitwise reproducible at any DIFFODE_NUM_THREADS.
+//   2. No nested fan-out: a task running on a pool thread that calls back
+//      into Run()/ParallelFor() executes inline, so kernels can be used
+//      freely inside parallel training shards without deadlock.
+//   3. The calling thread participates in the work, so a 1-thread pool is
+//      exactly the serial code path.
+class ThreadPool {
+ public:
+  // num_threads >= 1 counts the calling thread; a pool of 1 spawns no
+  // workers and runs everything inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(i) for every i in [0, num_tasks) and blocks until all are done.
+  // Tasks are claimed dynamically; callers needing determinism must make the
+  // tasks themselves deterministic (disjoint writes / ordered combination).
+  void Run(Index num_tasks, const std::function<void(Index)>& fn);
+
+  // The process-wide pool, created on first use with DefaultNumThreads().
+  static ThreadPool& Get();
+
+  // Rebuilds the shared pool with n threads (n <= 0 restores the default).
+  // Test/bench hook; must not race with an in-flight Run on the old pool.
+  static void SetNumThreads(int n);
+
+  // DIFFODE_NUM_THREADS if set and positive, else hardware_concurrency.
+  static int DefaultNumThreads();
+
+ private:
+  struct Job {
+    const std::function<void(Index)>* fn = nullptr;
+    Index total = 0;
+    std::atomic<Index> next{0};
+    std::atomic<Index> done{0};
+  };
+
+  void WorkerLoop();
+  static void ExecuteChunks(Job* job);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: a new job was published
+  std::condition_variable done_cv_;  // caller: all tasks of the job finished
+  std::shared_ptr<Job> job_;         // null when idle
+  std::uint64_t generation_ = 0;     // bumped per published job
+  bool stop_ = false;
+  std::mutex run_mu_;  // serializes Run() calls from distinct threads
+};
+
+// Splits [begin, end) into chunks of `grain` elements (the last chunk may be
+// short) and runs fn(chunk_begin, chunk_end) for each on the shared pool.
+// Chunk boundaries depend only on begin/end/grain, so disjoint-write loops
+// are deterministic at any thread count. Single-chunk calls run inline.
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index)>& fn);
+
+// Deterministic chunked reduction over the same fixed chunk grid as
+// ParallelFor: evaluates fn(chunk_begin, chunk_end) per chunk (in parallel)
+// and sums the partials serially in chunk order, so the result is bitwise
+// identical at any thread count.
+Scalar ReduceSum(Index begin, Index end, Index grain,
+                 const std::function<Scalar(Index, Index)>& fn);
+
+}  // namespace diffode::parallel
+
+#endif  // DIFFODE_CORE_PARALLEL_H_

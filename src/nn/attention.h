@@ -10,7 +10,7 @@ namespace diffode::nn {
 inline ag::Var ScaledDotAttention(const ag::Var& q, const ag::Var& k,
                                   const ag::Var& v) {
   const Scalar scale = 1.0 / std::sqrt(static_cast<Scalar>(q.cols()));
-  ag::Var logits = ag::MulScalar(ag::MatMul(q, ag::Transpose(k)), scale);
+  ag::Var logits = ag::MulScalar(ag::MatMulNT(q, k), scale);
   return ag::MatMul(ag::Softmax(logits), v);
 }
 

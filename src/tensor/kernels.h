@@ -1,0 +1,79 @@
+#ifndef DIFFODE_TENSOR_KERNELS_H_
+#define DIFFODE_TENSOR_KERNELS_H_
+
+#include "core/parallel.h"
+#include "tensor/shape.h"
+
+namespace diffode::kernels {
+
+// Named computational kernels behind Tensor and the autograd ops. All heavy
+// loops in the repository funnel through these so that cache blocking,
+// unrolling, and threading live in exactly one place. Raw-pointer interfaces
+// keep them usable from both Tensor methods and backward closures without
+// materializing intermediate tensors (notably: no explicit transposes).
+//
+// Determinism contract: for a fixed input, every kernel produces bitwise
+// identical output at any thread count. Parallel kernels partition work by
+// fixed chunk grids (see parallel::ParallelFor) with disjoint writes, and
+// reductions combine fixed-grid partials in chunk order.
+
+// Elementwise work below this many elements stays on the calling thread.
+inline constexpr Index kElementwiseGrain = 16384;
+
+// C (m x n) = A (m x k) * B (k x n). All row-major, C is overwritten.
+void Gemm(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
+          Scalar* c);
+
+// C (m x n) = A^T * B where A is stored (k x m) row-major — the backward
+// pass "A^T G" without materializing the transpose.
+void GemmTN(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
+            Scalar* c);
+
+// C (m x n) = A * B^T where A is (m x k) and B is stored (n x k) row-major —
+// the backward pass "G B^T" without materializing the transpose.
+void GemmNT(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
+            Scalar* c);
+
+// y += alpha * x.
+void Axpy(Index n, Scalar alpha, const Scalar* x, Scalar* y);
+
+// out = x + alpha * y (fused; out may alias x).
+void AddScaled(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
+               Scalar* out);
+
+// x *= alpha.
+void Scale(Index n, Scalar alpha, Scalar* x);
+
+// Deterministic blocked reductions (fixed 4096-element partial grid).
+Scalar Sum(Index n, const Scalar* x);
+Scalar Dot(Index n, const Scalar* x, const Scalar* y);
+
+// out[i] = fn(x[i]). Templated functor dispatch: the loop body inlines the
+// functor, unlike Tensor::Map's std::function-per-element indirection.
+// out may alias x.
+template <typename F>
+void Map(Index n, const Scalar* x, Scalar* out, F fn) {
+  if (n >= kElementwiseGrain) {
+    parallel::ParallelFor(0, n, kElementwiseGrain, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) out[i] = fn(x[i]);
+    });
+    return;
+  }
+  for (Index i = 0; i < n; ++i) out[i] = fn(x[i]);
+}
+
+// out[i] = fn(x[i], y[i]). out may alias either input.
+template <typename F>
+void Zip(Index n, const Scalar* x, const Scalar* y, Scalar* out, F fn) {
+  if (n >= kElementwiseGrain) {
+    parallel::ParallelFor(0, n, kElementwiseGrain, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) out[i] = fn(x[i], y[i]);
+    });
+    return;
+  }
+  for (Index i = 0; i < n; ++i) out[i] = fn(x[i], y[i]);
+}
+
+}  // namespace diffode::kernels
+
+#endif  // DIFFODE_TENSOR_KERNELS_H_

@@ -1,7 +1,10 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+
+#include "tensor/kernels.h"
 
 namespace diffode {
 
@@ -70,48 +73,51 @@ Scalar Tensor::at(Index r, Index c) const {
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator+= shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::Axpy(numel(), 1.0, other.data(), data());
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator-= shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  kernels::Axpy(numel(), -1.0, other.data(), data());
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& other) {
   DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator*= shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  kernels::Zip(numel(), data(), other.data(), data(),
+               [](Scalar x, Scalar y) { return x * y; });
   return *this;
 }
 
 Tensor& Tensor::operator+=(Scalar v) {
-  for (auto& x : data_) x += v;
+  kernels::Map(numel(), data(), data(), [v](Scalar x) { return x + v; });
   return *this;
 }
 
 Tensor& Tensor::operator*=(Scalar v) {
-  for (auto& x : data_) x *= v;
+  kernels::Scale(numel(), v, data());
   return *this;
 }
 
 Tensor Tensor::operator-() const {
   Tensor out = *this;
-  for (auto& x : out.data_) x = -x;
+  kernels::Scale(out.numel(), -1.0, out.data());
   return out;
 }
 
 Tensor Tensor::CwiseQuotient(const Tensor& other) const {
   DIFFODE_CHECK_MSG(shape_ == other.shape_, "CwiseQuotient shape mismatch");
   Tensor out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] /= other.data_[i];
+  kernels::Zip(out.numel(), out.data(), other.data(), out.data(),
+               [](Scalar x, Scalar y) { return x / y; });
   return out;
 }
 
 Tensor Tensor::Map(const std::function<Scalar(Scalar)>& fn) const {
   Tensor out = *this;
-  for (auto& x : out.data_) x = fn(x);
+  kernels::Map(out.numel(), out.data(), out.data(),
+               [&fn](Scalar x) { return fn(x); });
   return out;
 }
 
@@ -121,19 +127,29 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   DIFFODE_CHECK_MSG(other.rows() == k, "MatMul inner-dimension mismatch");
   const Index n = other.cols();
   Tensor out(Shape{m, n});
-  const Scalar* a = data();
-  const Scalar* b = other.data();
-  Scalar* c = out.data();
-  // i-k-j loop order keeps the inner loop contiguous in both b and c.
-  for (Index i = 0; i < m; ++i) {
-    for (Index p = 0; p < k; ++p) {
-      const Scalar aip = a[i * k + p];
-      if (aip == 0.0) continue;
-      const Scalar* brow = b + p * n;
-      Scalar* crow = c + i * n;
-      for (Index j = 0; j < n; ++j) crow[j] += aip * brow[j];
-    }
-  }
+  kernels::Gemm(m, k, n, data(), other.data(), out.data());
+  return out;
+}
+
+Tensor Tensor::TransposedMatMul(const Tensor& other) const {
+  const Index k = rows();
+  const Index m = cols();
+  DIFFODE_CHECK_MSG(other.rows() == k,
+                    "TransposedMatMul inner-dimension mismatch");
+  const Index n = other.cols();
+  Tensor out(Shape{m, n});
+  kernels::GemmTN(m, k, n, data(), other.data(), out.data());
+  return out;
+}
+
+Tensor Tensor::MatMulTransposed(const Tensor& other) const {
+  const Index m = rows();
+  const Index k = cols();
+  DIFFODE_CHECK_MSG(other.cols() == k,
+                    "MatMulTransposed inner-dimension mismatch");
+  const Index n = other.rows();
+  Tensor out(Shape{m, n});
+  kernels::GemmNT(m, k, n, data(), other.data(), out.data());
   return out;
 }
 
@@ -141,8 +157,10 @@ Tensor Tensor::Transposed() const {
   const Index r = rows();
   const Index c = cols();
   Tensor out(Shape{c, r});
+  const Scalar* src_p = data();
+  Scalar* dst = out.data();
   for (Index i = 0; i < r; ++i)
-    for (Index j = 0; j < c; ++j) out.at(j, i) = at(i, j);
+    for (Index j = 0; j < c; ++j) dst[j * r + i] = src_p[i * c + j];
   return out;
 }
 
@@ -151,11 +169,7 @@ Tensor Tensor::Reshaped(Shape shape) const {
   return Tensor(std::move(shape), data_);
 }
 
-Scalar Tensor::Sum() const {
-  Scalar s = 0.0;
-  for (Scalar x : data_) s += x;
-  return s;
-}
+Scalar Tensor::Sum() const { return kernels::Sum(numel(), data()); }
 
 Scalar Tensor::Mean() const {
   DIFFODE_CHECK_GT(numel(), 0);
@@ -176,16 +190,12 @@ Scalar Tensor::Max() const {
 }
 
 Scalar Tensor::Norm() const {
-  Scalar s = 0.0;
-  for (Scalar x : data_) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(kernels::Dot(numel(), data(), data()));
 }
 
 Scalar Tensor::Dot(const Tensor& other) const {
   DIFFODE_CHECK_EQ(numel(), other.numel());
-  Scalar s = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) s += data_[i] * other.data_[i];
-  return s;
+  return kernels::Dot(numel(), data(), other.data());
 }
 
 Tensor Tensor::RowSums() const {
@@ -220,8 +230,7 @@ Tensor Tensor::Rows(Index begin, Index count) const {
   DIFFODE_CHECK_LE(begin + count, rows());
   const Index c = cols();
   Tensor out(Shape{count, c});
-  for (Index i = 0; i < count; ++i)
-    for (Index j = 0; j < c; ++j) out.at(i, j) = at(begin + i, j);
+  std::copy(data() + begin * c, data() + (begin + count) * c, out.data());
   return out;
 }
 

@@ -100,6 +100,10 @@ class Tensor {
 
   // Linear algebra (2-D unless noted; rank-1 operands act as single rows).
   Tensor MatMul(const Tensor& other) const;
+  // this^T * other, without materializing the transpose (kernels::GemmTN).
+  Tensor TransposedMatMul(const Tensor& other) const;
+  // this * other^T, without materializing the transpose (kernels::GemmNT).
+  Tensor MatMulTransposed(const Tensor& other) const;
   Tensor Transposed() const;
   Tensor Reshaped(Shape shape) const;
 

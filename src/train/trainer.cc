@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "autograd/ops.h"
+#include "core/parallel.h"
 #include "nn/optimizer.h"
 #include "train/timer.h"
 
@@ -57,6 +59,37 @@ data::TaskView MakeView(const data::IrregularSeries& s, RegressionTask task,
              : data::MakeExtrapolationView(s);
 }
 
+// Runs `shard(k)` for every k in [0, b) across the thread pool, each under a
+// private GradSink over `params` so concurrent Backward() calls never touch
+// the shared parameter gradients. Shards are then merged pairwise in shard
+// order — a fixed reduction tree, so the flushed gradients (and the returned
+// per-shard losses) are bitwise identical at any thread count.
+template <typename ShardFn>
+std::vector<Scalar> RunShards(const std::vector<ag::Var>& params, Index b,
+                              const ShardFn& shard) {
+  std::vector<ag::GradSink> sinks;
+  sinks.reserve(static_cast<std::size_t>(b));
+  for (Index k = 0; k < b; ++k) sinks.emplace_back(params);
+  std::vector<Scalar> losses(static_cast<std::size_t>(b), 0.0);
+  parallel::ThreadPool::Get().Run(b, [&](Index k) {
+    ag::GradSink::Scope scope(&sinks[static_cast<std::size_t>(k)]);
+    losses[static_cast<std::size_t>(k)] = shard(k);
+  });
+  for (Index stride = 1; stride < b; stride *= 2)
+    for (Index i = 0; i + stride < b; i += 2 * stride)
+      sinks[static_cast<std::size_t>(i)].MergeFrom(
+          sinks[static_cast<std::size_t>(i + stride)]);
+  sinks[0].FlushToNodes();
+  return losses;
+}
+
+// Forwards run on pool threads accumulate model aux-loss terms keyed by
+// thread; anything left over from a previous (e.g. evaluation) forward on
+// this thread must be dropped before a fresh tape is built.
+void DropStaleAux(core::SequenceModel* model) {
+  (void)model->TakeAuxiliaryLoss();
+}
+
 }  // namespace
 
 Scalar EvaluateAccuracy(core::SequenceModel* model,
@@ -64,16 +97,20 @@ Scalar EvaluateAccuracy(core::SequenceModel* model,
                         Index max_samples) {
   const Index n = CappedSize(split, max_samples);
   if (n == 0) return 0.0;
-  Index correct = 0;
-  for (Index i = 0; i < n; ++i) {
+  std::vector<unsigned char> correct(static_cast<std::size_t>(n), 0);
+  parallel::ThreadPool::Get().Run(n, [&](Index i) {
     const auto& s = split[static_cast<std::size_t>(i)];
+    DropStaleAux(model);
     ag::Var logits = model->ClassifyLogits(s);
+    DropStaleAux(model);
     Index best = 0;
     for (Index c = 1; c < logits.cols(); ++c)
       if (logits.value().at(0, c) > logits.value().at(0, best)) best = c;
-    if (best == s.label) ++correct;
-  }
-  return static_cast<Scalar>(correct) / static_cast<Scalar>(n);
+    correct[static_cast<std::size_t>(i)] = (best == s.label) ? 1 : 0;
+  });
+  Index hits = 0;
+  for (unsigned char c : correct) hits += c;
+  return static_cast<Scalar>(hits) / static_cast<Scalar>(n);
 }
 
 FitResult TrainClassifier(core::SequenceModel* model,
@@ -93,25 +130,25 @@ FitResult TrainClassifier(core::SequenceModel* model,
   for (Index epoch = 0; epoch < options.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
     Scalar epoch_loss = 0.0;
-    Index in_batch = 0;
     optimizer.ZeroGrad();
-    for (Index idx : order) {
-      const auto& s = dataset.train[static_cast<std::size_t>(idx)];
-      ag::Var logits = model->ClassifyLogits(s);
-      ag::Var loss = ag::SoftmaxCrossEntropy(logits, {s.label});
-      ag::Var aux = model->TakeAuxiliaryLoss();
-      if (aux.defined()) loss = ag::Add(loss, aux);
-      loss.Backward();
-      epoch_loss += loss.value().item();
-      if (++in_batch >= options.batch_size) {
-        optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
-        optimizer.ClipGradNorm(options.clip_norm);
-        optimizer.StepAndZero();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
-      optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      const Index b = std::min<Index>(options.batch_size,
+                                      static_cast<Index>(order.size() - pos));
+      const Index* batch = order.data() + pos;
+      pos += static_cast<std::size_t>(b);
+      std::vector<Scalar> losses = RunShards(params, b, [&](Index k) {
+        const auto& s = dataset.train[static_cast<std::size_t>(batch[k])];
+        DropStaleAux(model);
+        ag::Var logits = model->ClassifyLogits(s);
+        ag::Var loss = ag::SoftmaxCrossEntropy(logits, {s.label});
+        ag::Var aux = model->TakeAuxiliaryLoss();
+        if (aux.defined()) loss = ag::Add(loss, aux);
+        loss.Backward();
+        return loss.value().item();
+      });
+      for (Scalar l : losses) epoch_loss += l;
+      optimizer.ScaleGrads(1.0 / static_cast<Scalar>(b));
       optimizer.ClipGradNorm(options.clip_norm);
       optimizer.StepAndZero();
     }
@@ -150,25 +187,36 @@ Scalar EvaluateMse(core::SequenceModel* model,
                    RegressionTask task, Scalar target_frac,
                    std::uint64_t seed, Index max_samples) {
   const Index n = CappedSize(split, max_samples);
-  Scalar sq_sum = 0.0;
-  Scalar count = 0.0;
-  for (Index i = 0; i < n; ++i) {
+  if (n == 0) return 0.0;
+  // Per-sample view RNGs are seeded by index, so shards are independent and
+  // the serial combine below is order-fixed regardless of thread count.
+  std::vector<Scalar> sq(static_cast<std::size_t>(n), 0.0);
+  std::vector<Scalar> cnt(static_cast<std::size_t>(n), 0.0);
+  parallel::ThreadPool::Get().Run(n, [&](Index i) {
     Rng rng(seed + static_cast<std::uint64_t>(i) * 1315423911ull);
     data::TaskView view =
         MakeView(split[static_cast<std::size_t>(i)], task, target_frac, rng);
     TargetRows targets = CollectTargets(view);
-    if (targets.empty || view.context.length() < 2) continue;
+    if (targets.empty || view.context.length() < 2) return;
+    DropStaleAux(model);
     std::vector<ag::Var> preds = model->PredictAt(view.context, targets.times);
+    DropStaleAux(model);
     for (std::size_t k = 0; k < preds.size(); ++k) {
       for (Index j = 0; j < targets.values.cols(); ++j) {
         if (targets.mask.at(static_cast<Index>(k), j) > 0) {
           const Scalar diff = preds[k].value().at(0, j) -
                               targets.values.at(static_cast<Index>(k), j);
-          sq_sum += diff * diff;
-          count += 1.0;
+          sq[static_cast<std::size_t>(i)] += diff * diff;
+          cnt[static_cast<std::size_t>(i)] += 1.0;
         }
       }
     }
+  });
+  Scalar sq_sum = 0.0;
+  Scalar count = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    sq_sum += sq[static_cast<std::size_t>(i)];
+    count += cnt[static_cast<std::size_t>(i)];
   }
   if (count == 0.0) return 0.0;
   return sq_sum / count * kMseReportScale;
@@ -188,36 +236,48 @@ FitResult TrainRegressor(core::SequenceModel* model,
   const Index n_train = CappedSize(dataset.train, options.max_train_samples);
   std::vector<Index> order(static_cast<std::size_t>(n_train));
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<Index>(i);
+  struct Prepared {
+    data::TaskView view;
+    TargetRows targets;
+  };
   for (Index epoch = 0; epoch < options.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
     Scalar epoch_loss = 0.0;
     Index contributing = 0;
-    Index in_batch = 0;
     optimizer.ZeroGrad();
-    for (Index idx : order) {
-      data::TaskView view =
-          MakeView(dataset.train[static_cast<std::size_t>(idx)], task,
-                   options.interp_target_frac, rng);
-      TargetRows targets = CollectTargets(view);
-      if (targets.empty || view.context.length() < 2) continue;
-      std::vector<ag::Var> preds =
-          model->PredictAt(view.context, targets.times);
-      ag::Var pred_mat = ag::ConcatRows(preds);
-      ag::Var loss = ag::MaskedMseLoss(pred_mat, targets.values, targets.mask);
-      ag::Var aux = model->TakeAuxiliaryLoss();
-      if (aux.defined()) loss = ag::Add(loss, aux);
-      loss.Backward();
-      epoch_loss += loss.value().item();
-      ++contributing;
-      if (++in_batch >= options.batch_size) {
-        optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
-        optimizer.ClipGradNorm(options.clip_norm);
-        optimizer.StepAndZero();
-        in_batch = 0;
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      // Views draw from the epoch RNG, so they are built serially in sample
+      // order; only the model forwards/backwards fan out.
+      std::vector<Prepared> batch;
+      while (pos < order.size() &&
+             static_cast<Index>(batch.size()) < options.batch_size) {
+        data::TaskView view =
+            MakeView(dataset.train[static_cast<std::size_t>(order[pos])], task,
+                     options.interp_target_frac, rng);
+        ++pos;
+        TargetRows targets = CollectTargets(view);
+        if (targets.empty || view.context.length() < 2) continue;
+        batch.push_back(Prepared{std::move(view), std::move(targets)});
       }
-    }
-    if (in_batch > 0) {
-      optimizer.ScaleGrads(1.0 / static_cast<Scalar>(in_batch));
+      if (batch.empty()) continue;
+      const Index b = static_cast<Index>(batch.size());
+      std::vector<Scalar> losses = RunShards(params, b, [&](Index k) {
+        const Prepared& p = batch[static_cast<std::size_t>(k)];
+        DropStaleAux(model);
+        std::vector<ag::Var> preds =
+            model->PredictAt(p.view.context, p.targets.times);
+        ag::Var pred_mat = ag::ConcatRows(preds);
+        ag::Var loss =
+            ag::MaskedMseLoss(pred_mat, p.targets.values, p.targets.mask);
+        ag::Var aux = model->TakeAuxiliaryLoss();
+        if (aux.defined()) loss = ag::Add(loss, aux);
+        loss.Backward();
+        return loss.value().item();
+      });
+      for (Scalar l : losses) epoch_loss += l;
+      contributing += b;
+      optimizer.ScaleGrads(1.0 / static_cast<Scalar>(b));
       optimizer.ClipGradNorm(options.clip_norm);
       optimizer.StepAndZero();
     }

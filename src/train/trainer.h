@@ -23,7 +23,7 @@ struct TrainOptions {
   Scalar interp_target_frac = 0.3;  // fraction of entries held out
   std::uint64_t seed = 7;
   bool verbose = false;
-  // Caps for the single-core harness; -1 means use every sample.
+  // Sample caps for quick experiments; -1 means use every sample.
   Index max_train_samples = -1;
   Index max_eval_samples = -1;
 };
@@ -36,6 +36,12 @@ struct FitResult {
 };
 
 enum class RegressionTask { kInterpolation, kExtrapolation };
+
+// Training and evaluation shard each minibatch across the shared thread pool
+// (parallel::ThreadPool; size set by DIFFODE_NUM_THREADS). Per-shard
+// gradients are kept in private buffers and merged through a fixed reduction
+// tree, so losses and trained weights are bitwise identical at any thread
+// count — see docs/performance.md.
 
 // Cross-entropy training with validation-accuracy early stopping.
 FitResult TrainClassifier(core::SequenceModel* model,

@@ -4,6 +4,7 @@
 
 #include "baselines/zoo.h"
 #include "core/diffode_model.h"
+#include "core/parallel.h"
 #include "data/generators.h"
 #include "nn/optimizer.h"
 
@@ -106,6 +107,77 @@ TEST(TrainerTest, SampleCapsRespected) {
   options.max_eval_samples = 3;
   FitResult fit = TrainClassifier(model.get(), ds, options);
   EXPECT_EQ(fit.epochs_run, 1);
+}
+
+// Trains the same model twice — once on a single thread, once on four — and
+// demands bitwise-identical losses and weights: the data-parallel path must
+// be a pure reordering-free refactoring of the serial one.
+TEST(TrainerTest, TrainingIsBitwiseDeterministicAcrossThreadCounts) {
+  data::SyntheticPeriodicConfig dconfig;
+  dconfig.num_series = 24;
+  dconfig.grid_points = 10;
+  data::Dataset ds = data::MakeSyntheticPeriodic(dconfig);
+  baselines::BaselineConfig mconfig;
+  mconfig.input_dim = 1;
+  mconfig.hidden_dim = 6;
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 8;
+  options.patience = 5;
+
+  auto run = [&](int threads) {
+    parallel::ThreadPool::SetNumThreads(threads);
+    auto model = baselines::MakeBaseline("GRU", mconfig);
+    FitResult fit = TrainClassifier(model.get(), ds, options);
+    std::vector<Tensor> weights;
+    for (const auto& p : model->Params()) weights.push_back(p.value());
+    return std::make_pair(fit.train_losses, weights);
+  };
+  auto [losses1, weights1] = run(1);
+  auto [losses4, weights4] = run(4);
+  parallel::ThreadPool::SetNumThreads(0);
+
+  ASSERT_EQ(losses1.size(), losses4.size());
+  for (std::size_t e = 0; e < losses1.size(); ++e)
+    EXPECT_EQ(losses1[e], losses4[e]) << "epoch " << e;
+  ASSERT_EQ(weights1.size(), weights4.size());
+  for (std::size_t i = 0; i < weights1.size(); ++i)
+    for (Index j = 0; j < weights1[i].numel(); ++j)
+      EXPECT_EQ(weights1[i][j], weights4[i][j]) << "param " << i;
+}
+
+// Same bitwise bar for the DiffOde model, whose forwards also accumulate the
+// per-thread auxiliary DHS loss.
+TEST(TrainerTest, DiffOdeTrainingDeterministicAcrossThreadCounts) {
+  data::SyntheticPeriodicConfig dconfig;
+  dconfig.num_series = 12;
+  dconfig.grid_points = 8;
+  data::Dataset ds = data::MakeSyntheticPeriodic(dconfig);
+  core::DiffOdeConfig mconfig;
+  mconfig.input_dim = 1;
+  mconfig.latent_dim = 6;
+  mconfig.hippo_dim = 4;
+  mconfig.info_dim = 4;
+  mconfig.mlp_hidden = 8;
+  mconfig.step = 1.0;
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.patience = 5;
+
+  auto run = [&](int threads) {
+    parallel::ThreadPool::SetNumThreads(threads);
+    core::DiffOde model(mconfig);
+    FitResult fit = TrainClassifier(&model, ds, options);
+    return fit.train_losses;
+  };
+  auto losses1 = run(1);
+  auto losses4 = run(4);
+  parallel::ThreadPool::SetNumThreads(0);
+
+  ASSERT_EQ(losses1.size(), losses4.size());
+  for (std::size_t e = 0; e < losses1.size(); ++e)
+    EXPECT_EQ(losses1[e], losses4[e]) << "epoch " << e;
 }
 
 TEST(TrainerTest, DiffOdeEndToEndClassification) {
