@@ -5,11 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "autograd/arena.h"
+#include "autograd/ops.h"
 #include "core/dhs.h"
 #include "core/parallel.h"
 #include "linalg/pinv.h"
 #include "ode/solver.h"
 #include "sparsity/pt_solver.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/random.h"
 
@@ -192,6 +195,59 @@ void BM_ExactKktSmallN(benchmark::State& state) {
     benchmark::DoNotOptimize(sparsity::MaxHoyerExactKkt(inv, s));
 }
 BENCHMARK(BM_ExactKktSmallN)->Arg(6)->Arg(10)->Arg(14);
+
+// A ~64-op tape chain (the shape of one unrolled integrator sweep), built
+// and torn down once per iteration. The heap variant allocates every node
+// with make_shared and every tensor with operator new; the arena/pool
+// variant bump-allocates nodes and recycles tensor buffers. The ratio is
+// the allocation overhead removed from each training step.
+void RunTapeChain(Index width, Index ops) {
+  Rng rng(10);
+  ag::Var h = ag::Constant(rng.NormalTensor(Shape{1, width}));
+  ag::Var c = ag::Constant(rng.NormalTensor(Shape{1, width}));
+  for (Index i = 0; i < ops; ++i) h = ag::Tanh(ag::Add(ag::Mul(h, c), h));
+  benchmark::DoNotOptimize(h.value());
+}
+
+void BM_TapeUnrollHeap(benchmark::State& state) {
+  const Index width = state.range(0);
+  for (auto _ : state) RunTapeChain(width, 64);
+}
+BENCHMARK(BM_TapeUnrollHeap)->Arg(16)->Arg(64);
+
+void BM_TapeUnrollArenaPool(benchmark::State& state) {
+  const Index width = state.range(0);
+  for (auto _ : state) {
+    ag::TapeArena::Scope arena_scope;
+    tensor::BufferPool::Scope pool_scope;
+    RunTapeChain(width, 64);
+    ag::TapeArena::ThreadLocal().Reset();
+  }
+}
+BENCHMARK(BM_TapeUnrollArenaPool)->Arg(16)->Arg(64);
+
+// Raw buffer churn: allocate/free a batch of same-sized tensors, heap vs
+// warm pool.
+void RunTensorChurn(Index n) {
+  for (int k = 0; k < 32; ++k) {
+    Tensor t = Tensor::Uninit(Shape{n});
+    t.data()[0] = static_cast<Scalar>(k);
+    benchmark::DoNotOptimize(t);
+  }
+}
+
+void BM_TensorAllocHeap(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) RunTensorChurn(n);
+}
+BENCHMARK(BM_TensorAllocHeap)->Arg(1 << 8)->Arg(1 << 14);
+
+void BM_TensorAllocPooled(benchmark::State& state) {
+  const Index n = state.range(0);
+  tensor::BufferPool::Scope scope;
+  for (auto _ : state) RunTensorChurn(n);
+}
+BENCHMARK(BM_TensorAllocPooled)->Arg(1 << 8)->Arg(1 << 14);
 
 void BM_DhsDerivative(benchmark::State& state) {
   const Index n = state.range(0);

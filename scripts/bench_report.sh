@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the Table V efficiency benchmark and writes BENCH_PR2.json with the
+# before/after ms-per-epoch of every model. "Before" defaults to the numbers
+# recorded on main prior to the allocation-free hot path (PR 2); point
+# BASELINE_CSV at a saved `bench_table5_efficiency --csv` dump to compare
+# against a different baseline.
+#
+#   scripts/bench_report.sh                       # build, bench, report
+#   BASELINE_CSV=old.csv scripts/bench_report.sh  # custom baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR2.json}"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target bench_table5_efficiency > /dev/null
+
+AFTER_CSV="$(mktemp)"
+trap 'rm -f "$AFTER_CSV"' EXIT
+./build/bench/bench_table5_efficiency --csv > "$AFTER_CSV"
+
+BASELINE_CSV="${BASELINE_CSV:-}" AFTER_CSV="$AFTER_CSV" OUT="$OUT" python3 - <<'EOF'
+import csv, json, os
+
+# ms/epoch measured on main (commit 8c27b36) at the default bench scale,
+# before the tape arena / buffer pool / DHS cache landed.
+DEFAULT_BEFORE = {
+    "ContiFormer": 56.5,
+    "HiPPO-obs": 9.3,
+    "GRU-D": 36.4,
+    "ODE-RNN": 37.2,
+    "Latent ODE": 61.8,
+    "PolyODE": 56.6,
+    "DIFFODE": 155.9,
+}
+
+def load(path):
+    out = {}
+    with open(path) as f:
+        for row in csv.reader(f):
+            if len(row) >= 3 and row[0] not in ("table", "model"):
+                try:
+                    out[row[0]] = float(row[2])
+                except ValueError:
+                    pass
+    return out
+
+after = load(os.environ["AFTER_CSV"])
+baseline_csv = os.environ.get("BASELINE_CSV", "")
+before = load(baseline_csv) if baseline_csv else DEFAULT_BEFORE
+
+models = []
+for name, ms in after.items():
+    entry = {"model": name, "after_ms_per_epoch": ms}
+    if name in before:
+        entry["before_ms_per_epoch"] = before[name]
+        entry["speedup"] = round(before[name] / ms, 3) if ms else None
+        entry["improvement_pct"] = round(100.0 * (before[name] - ms) / before[name], 1)
+    models.append(entry)
+
+report = {
+    "benchmark": "bench_table5_efficiency",
+    "metric": "ms_per_epoch",
+    "baseline": baseline_csv or "main@8c27b36 (recorded)",
+    "models": models,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+EOF
+
+echo "wrote $OUT"

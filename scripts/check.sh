@@ -2,8 +2,9 @@
 # Tier-1 verification: builds and runs the full test suite serially and in
 # parallel, then rebuilds the threading-relevant tests under ThreadSanitizer.
 #
-#   scripts/check.sh            # full sweep
-#   SKIP_TSAN=1 scripts/check.sh  # plain build + tests only
+#   scripts/check.sh              # full sweep
+#   SKIP_TSAN=1 scripts/check.sh  # skip the ThreadSanitizer leg
+#   SKIP_ASAN=1 scripts/check.sh  # skip the AddressSanitizer leg
 #
 # The determinism contract (docs/performance.md) makes DIFFODE_NUM_THREADS=1
 # and =4 produce bitwise-identical results, so running both configurations is
@@ -25,11 +26,24 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: configure + build (-DDIFFODE_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DDIFFODE_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j \
-    --target kernels_test trainer_test tensor_test autograd_test > /dev/null
+    --target kernels_test trainer_test tensor_test autograd_test \
+             alloc_stats_test > /dev/null
 
   echo "== tsan: threading-relevant tests, DIFFODE_NUM_THREADS=4 =="
   (cd build-tsan && DIFFODE_NUM_THREADS=4 ctest --output-on-failure \
-    -R 'kernels_test|trainer_test|tensor_test|autograd_test')
+    -R 'kernels_test|trainer_test|tensor_test|autograd_test|alloc_stats_test')
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  # The arena hands out raw bump-allocated storage and the pool recycles
+  # buffers across tensors; ASan is the gate that no tape node or buffer is
+  # ever touched after its arena was Reset or its block rebucketed.
+  echo "== asan: configure + build (-DDIFFODE_SANITIZE=address) =="
+  cmake -B build-asan -S . -DDIFFODE_SANITIZE=address > /dev/null
+  cmake --build build-asan -j > /dev/null
+
+  echo "== asan: full suite =="
+  (cd build-asan && ctest --output-on-failure -j)
 fi
 
 echo "== check.sh: all green =="

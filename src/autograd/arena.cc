@@ -1,0 +1,73 @@
+#include "autograd/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/alloc_stats.h"
+#include "tensor/check.h"
+
+namespace diffode::ag {
+namespace {
+
+std::atomic<bool> g_arena_enabled{true};
+
+thread_local TapeArena* tls_active_arena = nullptr;
+
+}  // namespace
+
+void* TapeArena::Allocate(std::size_t bytes, std::size_t align) {
+  DIFFODE_CHECK_GT(align, 0u);
+  for (;;) {
+    if (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.capacity) {
+        void* p = b.data.get() + aligned;
+        offset_ = aligned + bytes;
+        in_use_ += bytes;
+        core::AllocStats::RecordArenaBytes(bytes);
+        return p;
+      }
+      // Current block exhausted; move on (possibly to a retained block).
+      ++cur_;
+      offset_ = 0;
+      continue;
+    }
+    Block b;
+    b.capacity = std::max(kBlockSize, bytes + align);
+    b.data.reset(new char[b.capacity]);
+    blocks_.push_back(std::move(b));
+  }
+}
+
+void TapeArena::Reset() {
+  cur_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+TapeArena* TapeArena::Active() {
+  if (!Enabled()) return nullptr;
+  return tls_active_arena;
+}
+
+TapeArena& TapeArena::ThreadLocal() {
+  static thread_local TapeArena arena;
+  return arena;
+}
+
+void TapeArena::SetEnabled(bool enabled) {
+  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TapeArena::Enabled() {
+  return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+TapeArena::Scope::Scope() : prev_(tls_active_arena) {
+  tls_active_arena = &TapeArena::ThreadLocal();
+}
+
+TapeArena::Scope::~Scope() { tls_active_arena = prev_; }
+
+}  // namespace diffode::ag

@@ -1,0 +1,122 @@
+#ifndef DIFFODE_AUTOGRAD_ARENA_H_
+#define DIFFODE_AUTOGRAD_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace diffode::ag {
+
+// Bump allocator for tape storage: autograd `Node`s (via
+// `std::allocate_shared`, so the shared_ptr control block and the node land
+// in one arena slot) and their parent-pointer vectors. A training step
+// allocates thousands of short-lived nodes; the arena serves them by pointer
+// bump and reclaims them wholesale with `Reset()` once the step's tape has
+// been destroyed. Blocks are retained across resets, so a warm step touches
+// the allocator only to move a pointer.
+//
+// Lifetime rule (enforced by ASan in scripts/check.sh): every shared_ptr
+// into the arena must be gone before Reset(). The trainer guarantees this by
+// resetting only after the shard's tape (loss Var, aux-loss entries) has
+// been destroyed. Long-lived parameter nodes are never arena-allocated.
+//
+// Scopes are re-entrant and per-thread; `ArenaAllocator` captures the active
+// arena at construction so deallocation stays consistent even if the scope
+// has since changed.
+class TapeArena {
+ public:
+  TapeArena() = default;
+  ~TapeArena() = default;
+
+  TapeArena(const TapeArena&) = delete;
+  TapeArena& operator=(const TapeArena&) = delete;
+
+  // Bump-allocates `bytes` with the given alignment.
+  void* Allocate(std::size_t bytes, std::size_t align);
+
+  // Makes all arena memory reusable. Blocks are kept. The caller must have
+  // dropped every pointer into the arena first.
+  void Reset();
+
+  // Bytes handed out since the last Reset.
+  std::size_t BytesInUse() const { return in_use_; }
+
+  // The arena installed on the current thread, or nullptr if no scope is
+  // active (or arenas are disabled).
+  static TapeArena* Active();
+
+  // The calling thread's arena (created on first use).
+  static TapeArena& ThreadLocal();
+
+  // Master switch for A/B equivalence tests. When disabled, Active()
+  // returns nullptr even inside a Scope, so nodes fall back to make_shared.
+  static void SetEnabled(bool enabled);
+  static bool Enabled();
+
+  // RAII installer of the calling thread's arena. Re-entrant.
+  class Scope {
+   public:
+    Scope();
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TapeArena* prev_;
+  };
+
+ private:
+  static constexpr std::size_t kBlockSize = 256 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;     // index of the block being bumped
+  std::size_t offset_ = 0;  // bump offset within blocks_[cur_]
+  std::size_t in_use_ = 0;
+};
+
+// Minimal allocator over TapeArena. Captures the thread's active arena at
+// construction time; with no active arena it degrades to plain heap calls.
+// Arena deallocation is a no-op (reclamation happens in Reset()).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept : arena_(TapeArena::Active()) {}
+  explicit ArenaAllocator(TapeArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr)
+      return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  TapeArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  TapeArena* arena_;
+};
+
+}  // namespace diffode::ag
+
+#endif  // DIFFODE_AUTOGRAD_ARENA_H_

@@ -8,11 +8,16 @@ namespace diffode::ag {
 namespace {
 
 // Builds a node with the given forward value and parents; requires_grad is
-// inherited from any parent.
-Var MakeNode(Tensor value, std::vector<Var> parents,
-             std::function<void(Node&)> backward_fn) {
-  auto node = std::make_shared<Node>();
+// inherited from any parent. Nodes come from the thread's tape arena when a
+// scope is active (AllocateNode); parents are taken as an initializer_list
+// or an existing vector so op calls never materialize a temporary
+// std::vector<Var>.
+template <typename ParentRange>
+Var MakeNodeFrom(Tensor value, const ParentRange& parents,
+                 std::function<void(Node&)> backward_fn) {
+  auto node = AllocateNode();
   node->value = std::move(value);
+  node->parents.reserve(parents.size());
   bool needs = false;
   for (const auto& p : parents) {
     DIFFODE_CHECK(p.defined());
@@ -24,6 +29,16 @@ Var MakeNode(Tensor value, std::vector<Var> parents,
   return Var(std::move(node));
 }
 
+Var MakeNode(Tensor value, std::initializer_list<Var> parents,
+             std::function<void(Node&)> backward_fn) {
+  return MakeNodeFrom(std::move(value), parents, std::move(backward_fn));
+}
+
+Var MakeNode(Tensor value, const std::vector<Var>& parents,
+             std::function<void(Node&)> backward_fn) {
+  return MakeNodeFrom(std::move(value), parents, std::move(backward_fn));
+}
+
 void Accumulate(const std::shared_ptr<Node>& n, const Tensor& g) {
   n->AccumulateGrad(g);
 }
@@ -32,7 +47,7 @@ void Accumulate(const std::shared_ptr<Node>& n, const Tensor& g) {
 template <typename F>
 void AccumulateZip(const std::shared_ptr<Node>& n, const Tensor& g,
                    const Tensor& v, F fn) {
-  Tensor out(g.shape());
+  Tensor out = Tensor::Uninit(g.shape());
   kernels::Zip(g.numel(), g.data(), v.data(), out.data(), fn);
   n->AccumulateGrad(out);
 }
@@ -68,7 +83,7 @@ Var Div(const Var& a, const Var& b) {
     AccumulateZip(n.parents[0], n.grad, bv,
                   [](Scalar g, Scalar v) { return g / v; });
     // d/db (a/b) = -a / b^2 = -(a/b)/b = -value/b
-    Tensor gb(n.grad.shape());
+    Tensor gb = Tensor::Uninit(n.grad.shape());
     kernels::Zip(n.grad.numel(), n.grad.data(), n.value.data(), gb.data(),
                  [](Scalar g, Scalar y) { return g * y; });
     AccumulateZip(n.parents[1], gb, bv,
@@ -183,8 +198,8 @@ Var MulRowVec(const Var& m, const Var& v) {
     const Tensor& vv = n.parents[1]->value;
     const Index r = mv.rows();
     const Index c = mv.cols();
-    Tensor gm(mv.shape());
-    Tensor gv(vv.shape());
+    Tensor gm = Tensor::Uninit(mv.shape());
+    Tensor gv(vv.shape());  // accumulated with +=, must start zeroed
     const Scalar* g = n.grad.data();
     const Scalar* mp = mv.data();
     const Scalar* vp = vv.data();
@@ -207,8 +222,8 @@ Var LayerNormRows(const Var& a, Scalar eps) {
   const Index r = x.rows();
   const Index c = x.cols();
   DIFFODE_CHECK_GT(c, 0);
-  Tensor y(x.shape());
-  Tensor inv_sigma(Shape{r, 1});
+  Tensor y = Tensor::Uninit(x.shape());
+  Tensor inv_sigma = Tensor::Uninit(Shape{r, 1});
   const Scalar* xp = x.data();
   Scalar* yp = y.data();
   for (Index i = 0; i < r; ++i) {
@@ -232,7 +247,7 @@ Var LayerNormRows(const Var& a, Scalar eps) {
     const Tensor& y = n.value;
     const Index r = y.rows();
     const Index c = y.cols();
-    Tensor gx(y.shape());
+    Tensor gx = Tensor::Uninit(y.shape());
     const Scalar* yp = y.data();
     const Scalar* gp = n.grad.data();
     Scalar* gxp = gx.data();
@@ -257,7 +272,7 @@ Var LayerNormRows(const Var& a, Scalar eps) {
 
 Var Softmax(const Var& a) {
   const Tensor& x = a.value();
-  Tensor y(x.shape());
+  Tensor y = Tensor::Uninit(x.shape());
   const Index r = x.rows();
   const Index c = x.cols();
   const Scalar* xp = x.data();
@@ -281,7 +296,7 @@ Var Softmax(const Var& a) {
     const Tensor& y = n.value;
     const Index r = y.rows();
     const Index c = y.cols();
-    Tensor gx(y.shape());
+    Tensor gx = Tensor::Uninit(y.shape());
     const Scalar* yp = y.data();
     const Scalar* gp = n.grad.data();
     Scalar* gxp = gx.data();
@@ -305,7 +320,7 @@ namespace {
 template <typename Fwd, typename Bwd>
 Var UnaryFromValue(const Var& a, Fwd fwd, Bwd bwd) {
   const Tensor& x = a.value();
-  Tensor y(x.shape());
+  Tensor y = Tensor::Uninit(x.shape());
   kernels::Map(x.numel(), x.data(), y.data(), fwd);
   return MakeNode(std::move(y), {a}, [bwd](Node& n) {
     AccumulateZip(n.parents[0], n.grad, n.value, bwd);
@@ -316,7 +331,7 @@ Var UnaryFromValue(const Var& a, Fwd fwd, Bwd bwd) {
 template <typename Fwd, typename Bwd>
 Var UnaryFromInput(const Var& a, Fwd fwd, Bwd bwd) {
   const Tensor& x = a.value();
-  Tensor y(x.shape());
+  Tensor y = Tensor::Uninit(x.shape());
   kernels::Map(x.numel(), x.data(), y.data(), fwd);
   return MakeNode(std::move(y), {a}, [bwd](Node& n) {
     AccumulateZip(n.parents[0], n.grad, n.parents[0]->value, bwd);
@@ -380,6 +395,99 @@ Var Cos(const Var& a) {
       [](Scalar g, Scalar x) { return -g * std::sin(x); });
 }
 
+namespace {
+
+// parent_grad += g * s without an intermediate copy-then-scale.
+void AccumulateScaled(const std::shared_ptr<Node>& n, const Tensor& g,
+                      Scalar s) {
+  Tensor out = Tensor::Uninit(g.shape());
+  kernels::Map(g.numel(), g.data(), out.data(),
+               [s](Scalar x) { return x * s; });
+  n->AccumulateGrad(out);
+}
+
+}  // namespace
+
+Var AddInPlace(const Var& a, const Var& b) {
+  DIFFODE_CHECK(a.value().shape() == b.value().shape());
+  Tensor out = Tensor::Uninit(a.value().shape());
+  kernels::Zip(out.numel(), a.value().data(), b.value().data(), out.data(),
+               [](Scalar x, Scalar y) { return x + y; });
+  return MakeNode(std::move(out), {a, b}, [](Node& n) {
+    Accumulate(n.parents[0], n.grad);
+    Accumulate(n.parents[1], n.grad);
+  });
+}
+
+Var AxpyFused(const Var& y, const Var& k, Scalar h) {
+  DIFFODE_CHECK(y.value().shape() == k.value().shape());
+  Tensor out = Tensor::Uninit(y.value().shape());
+  kernels::Zip(out.numel(), y.value().data(), k.value().data(), out.data(),
+               [h](Scalar yv, Scalar kv) { return yv + kv * h; });
+  return MakeNode(std::move(out), {y, k}, [h](Node& n) {
+    Accumulate(n.parents[0], n.grad);
+    AccumulateScaled(n.parents[1], n.grad, h);
+  });
+}
+
+Var Rk4Combine(const Var& y, const Var& k1, const Var& k2, const Var& k3,
+               const Var& k4, Scalar h) {
+  const Shape& shape = y.value().shape();
+  DIFFODE_CHECK(k1.value().shape() == shape);
+  DIFFODE_CHECK(k2.value().shape() == shape);
+  DIFFODE_CHECK(k3.value().shape() == shape);
+  DIFFODE_CHECK(k4.value().shape() == shape);
+  const Scalar h6 = h / 6.0;
+  Tensor out = Tensor::Uninit(shape);
+  {
+    const Index n = out.numel();
+    const Scalar* yp = y.value().data();
+    const Scalar* p1 = k1.value().data();
+    const Scalar* p2 = k2.value().data();
+    const Scalar* p3 = k3.value().data();
+    const Scalar* p4 = k4.value().data();
+    Scalar* o = out.data();
+    for (Index i = 0; i < n; ++i)
+      o[i] = yp[i] + h6 * ((p1[i] + 2.0 * p2[i]) + (2.0 * p3[i] + p4[i]));
+  }
+  return MakeNode(std::move(out), {y, k1, k2, k3, k4}, [h6](Node& n) {
+    Accumulate(n.parents[0], n.grad);
+    AccumulateScaled(n.parents[1], n.grad, h6);
+    AccumulateScaled(n.parents[2], n.grad, 2.0 * h6);
+    AccumulateScaled(n.parents[3], n.grad, 2.0 * h6);
+    AccumulateScaled(n.parents[4], n.grad, h6);
+  });
+}
+
+Var TanhLinear(const Var& x, const Var& w, const Var& b) {
+  DIFFODE_CHECK_EQ(x.cols(), w.rows());
+  DIFFODE_CHECK_EQ(b.rows(), 1);
+  DIFFODE_CHECK_EQ(b.cols(), w.cols());
+  // y = tanh(x·W + b), built in one buffer: GEMM into it, bias and tanh
+  // applied in place.
+  Tensor y = x.value().MatMul(w.value());
+  {
+    const Index r = y.rows();
+    const Index c = y.cols();
+    Scalar* yp = y.data();
+    const Scalar* bp = b.value().data();
+    for (Index i = 0; i < r; ++i)
+      for (Index j = 0; j < c; ++j)
+        yp[i * c + j] = std::tanh(yp[i * c + j] + bp[j]);
+  }
+  return MakeNode(std::move(y), {x, w, b}, [](Node& n) {
+    const Tensor& xv = n.parents[0]->value;
+    const Tensor& wv = n.parents[1]->value;
+    // gpre = g ⊙ (1 - y²); then gx = gpre·Wᵀ, gW = xᵀ·gpre, gb = colsum.
+    Tensor gpre = Tensor::Uninit(n.value.shape());
+    kernels::Zip(gpre.numel(), n.grad.data(), n.value.data(), gpre.data(),
+                 [](Scalar g, Scalar yv) { return g * (1.0 - yv * yv); });
+    Accumulate(n.parents[0], gpre.MatMulTransposed(wv));
+    Accumulate(n.parents[1], xv.TransposedMatMul(gpre));
+    Accumulate(n.parents[2], gpre.ColSums());
+  });
+}
+
 Var Sum(const Var& a) {
   Tensor out(Shape{1, 1});
   out[0] = a.value().Sum();
@@ -421,14 +529,12 @@ Var ConcatCols(const std::vector<Var>& parts) {
     values.push_back(p.value());
     widths.push_back(p.cols());
   }
-  return MakeNode(Tensor::ConcatCols(values),
-                  std::vector<Var>(parts.begin(), parts.end()),
-                  [widths](Node& n) {
+  return MakeNode(Tensor::ConcatCols(values), parts, [widths](Node& n) {
                     const Index total = n.grad.cols();
                     const Scalar* gp = n.grad.data();
                     Index c = 0;
                     for (std::size_t k = 0; k < widths.size(); ++k) {
-                      Tensor g(n.parents[k]->value.shape());
+                      Tensor g = Tensor::Uninit(n.parents[k]->value.shape());
                       const Index r = g.rows();
                       const Index w = widths[k];
                       Scalar* out = g.data();
@@ -450,9 +556,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
     values.push_back(p.value());
     heights.push_back(p.rows());
   }
-  return MakeNode(Tensor::ConcatRows(values),
-                  std::vector<Var>(parts.begin(), parts.end()),
-                  [heights](Node& n) {
+  return MakeNode(Tensor::ConcatRows(values), parts, [heights](Node& n) {
                     Index r = 0;
                     for (std::size_t k = 0; k < heights.size(); ++k) {
                       Accumulate(n.parents[k], n.grad.Rows(r, heights[k]));
@@ -466,7 +570,7 @@ Var SliceCols(const Var& a, Index begin, Index count) {
   DIFFODE_CHECK_LE(begin + count, a.cols());
   const Index r = a.rows();
   const Index total = a.cols();
-  Tensor out(Shape{r, count});
+  Tensor out = Tensor::Uninit(Shape{r, count});
   {
     const Scalar* src = a.value().data();
     Scalar* dst = out.data();
@@ -529,7 +633,7 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels) {
   const Index c = logits.cols();
   DIFFODE_CHECK_EQ(static_cast<Index>(labels.size()), b);
   const Tensor& x = logits.value();
-  Tensor probs(x.shape());
+  Tensor probs = Tensor::Uninit(x.shape());
   const Scalar* xp = x.data();
   Scalar* pp = probs.data();
   Scalar loss = 0.0;

@@ -58,6 +58,19 @@ Var Square(const Var& a);
 Var Sin(const Var& a);
 Var Cos(const Var& a);
 
+// Fused hot-path ops. Each computes the same quantity as the op chain it
+// replaces but builds ONE tape node and runs one elementwise pass, so the
+// ODE unroll's per-step tape stays small.
+// a + b in a single pass (no copy-then-axpy).
+Var AddInPlace(const Var& a, const Var& b);
+// y + h*k in a single pass: the Euler / midpoint state update.
+Var AxpyFused(const Var& y, const Var& k, Scalar h);
+// y + h/6 * (k1 + 2 k2 + 2 k3 + k4): the RK4 combination step.
+Var Rk4Combine(const Var& y, const Var& k1, const Var& k2, const Var& k3,
+               const Var& k4, Scalar h);
+// tanh(x·W + b) with b a 1 x c row vector: the tanh-MLP hidden-layer step.
+Var TanhLinear(const Var& x, const Var& w, const Var& b);
+
 // Reductions to a 1x1 Var.
 Var Sum(const Var& a);
 Var Mean(const Var& a);

@@ -2,28 +2,45 @@
 
 #include <unordered_set>
 
+#include "core/alloc_stats.h"
+
 namespace diffode::ag {
 namespace {
 
-// Iterative post-order DFS over parents; returns nodes so that every node
-// appears after all nodes that depend on it when iterated in reverse.
-void TopoSort(Node* root, std::vector<Node*>* order) {
+// Per-thread scratch for Backward. The containers keep their capacity (and
+// hash buckets) between calls, so a warm backward pass performs no scratch
+// allocation.
+struct BackwardScratch {
+  std::vector<Node*> order;
   std::unordered_set<Node*> visited;
   std::vector<std::pair<Node*, std::size_t>> stack;
-  stack.emplace_back(root, 0);
-  visited.insert(root);
-  while (!stack.empty()) {
-    auto& [node, next_child] = stack.back();
+};
+
+BackwardScratch& Scratch() {
+  static thread_local BackwardScratch scratch;
+  return scratch;
+}
+
+// Iterative post-order DFS over parents; returns nodes so that every node
+// appears after all nodes that depend on it when iterated in reverse.
+void TopoSort(Node* root, BackwardScratch& s) {
+  s.order.clear();
+  s.visited.clear();
+  s.stack.clear();
+  s.stack.emplace_back(root, 0);
+  s.visited.insert(root);
+  while (!s.stack.empty()) {
+    auto& [node, next_child] = s.stack.back();
     if (next_child < node->parents.size()) {
       Node* child = node->parents[next_child].get();
       ++next_child;
-      if (child != nullptr && !visited.count(child)) {
-        visited.insert(child);
-        stack.emplace_back(child, 0);
+      if (child != nullptr && !s.visited.count(child)) {
+        s.visited.insert(child);
+        s.stack.emplace_back(child, 0);
       }
     } else {
-      order->push_back(node);
-      stack.pop_back();
+      s.order.push_back(node);
+      s.stack.pop_back();
     }
   }
 }
@@ -31,6 +48,15 @@ void TopoSort(Node* root, std::vector<Node*>* order) {
 thread_local GradSink* tls_sink = nullptr;
 
 }  // namespace
+
+std::shared_ptr<Node> AllocateNode() {
+  if (TapeArena* arena = TapeArena::Active()) {
+    core::AllocStats::RecordArenaNode();
+    return std::allocate_shared<Node>(ArenaAllocator<Node>(arena));
+  }
+  core::AllocStats::RecordHeapNode();
+  return std::make_shared<Node>();
+}
 
 void Node::AccumulateGrad(const Tensor& g) {
   if (GradSink* sink = tls_sink) {
@@ -101,11 +127,11 @@ void Var::Backward() { Backward(Tensor::Ones(node_->value.shape())); }
 void Var::Backward(const Tensor& seed) {
   DIFFODE_CHECK(node_ != nullptr);
   DIFFODE_CHECK(seed.shape() == node_->value.shape());
-  std::vector<Node*> order;
-  TopoSort(node_.get(), &order);
+  BackwardScratch& s = Scratch();
+  TopoSort(node_.get(), s);
   node_->AccumulateGrad(seed);
   // Post-order places dependencies first; walk from the root backwards.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
     Node* n = *it;
     if (n->backward_fn) {
       n->EnsureGrad();

@@ -6,22 +6,32 @@
 #include <unordered_map>
 #include <vector>
 
+#include "autograd/arena.h"
 #include "tensor/tensor.h"
 
 namespace diffode::ag {
 
 // One node of the reverse-mode tape. Nodes own their forward value and an
 // accumulated gradient buffer. Intermediate nodes are created afresh on every
-// forward pass; parameter nodes are long-lived and shared between passes, so
-// gradient accumulation across samples falls out naturally.
+// forward pass (from the thread's TapeArena when a scope is active);
+// parameter nodes are long-lived and shared between passes, so gradient
+// accumulation across samples falls out naturally.
 struct Node {
+  // Parent pointers live in the same arena as the node itself (or on the
+  // heap for arena-less nodes; the allocator captures the choice at node
+  // construction).
+  using ParentVec =
+      std::vector<std::shared_ptr<Node>, ArenaAllocator<std::shared_ptr<Node>>>;
+
   Tensor value;
   Tensor grad;  // allocated lazily, same shape as value
   bool requires_grad = false;
-  std::vector<std::shared_ptr<Node>> parents;
+  ParentVec parents;
   // Scatters this node's gradient into its parents' gradients.
   std::function<void(Node&)> backward_fn;
 
+  // Grad buffers are allocated once and then reused: ZeroGrad clears them in
+  // place, so at steady state this is a shape compare and nothing else.
   void EnsureGrad() {
     if (grad.shape() != value.shape()) grad = Tensor(value.shape());
   }
@@ -81,12 +91,19 @@ class GradSink {
   std::unordered_map<const Node*, std::size_t> index_;
 };
 
+// Allocates a tape node: from the calling thread's active TapeArena when a
+// scope is installed (wholesale reclamation at step end), or from the heap
+// otherwise. Defined in variable.cc.
+std::shared_ptr<Node> AllocateNode();
+
 // Lightweight handle to a tape node (shared ownership).
 class Var {
  public:
   Var() = default;
+  // Nodes that require grad are parameters: long-lived, so they are always
+  // heap-allocated and never touch the (per-step) arena.
   explicit Var(Tensor value, bool requires_grad = false)
-      : node_(std::make_shared<Node>()) {
+      : node_(requires_grad ? std::make_shared<Node>() : AllocateNode()) {
     node_->value = std::move(value);
     node_->requires_grad = requires_grad;
   }
@@ -112,8 +129,15 @@ class Var {
   void Backward();
   void Backward(const Tensor& seed);
 
+  // Zeroes the gradient in place, reusing the existing buffer (allocates
+  // only on first use or shape change).
   void ZeroGrad() {
-    if (node_) node_->grad = Tensor(node_->value.shape());
+    if (!node_) return;
+    if (node_->grad.shape() == node_->value.shape()) {
+      node_->grad.SetZero();
+    } else {
+      node_->grad = Tensor(node_->value.shape());
+    }
   }
 
  private:

@@ -1,0 +1,48 @@
+#include "core/alloc_stats.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace diffode::core {
+
+AllocStats::Counters& AllocStats::Raw() {
+  static Counters counters;
+  return counters;
+}
+
+AllocStats::Snapshot AllocStats::Read() {
+  const Counters& c = Raw();
+  Snapshot s;
+  s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
+  s.depot_hits = c.depot_hits.load(std::memory_order_relaxed);
+  s.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
+  s.pool_bypass = c.pool_bypass.load(std::memory_order_relaxed);
+  s.arena_nodes = c.arena_nodes.load(std::memory_order_relaxed);
+  s.arena_bytes = c.arena_bytes.load(std::memory_order_relaxed);
+  s.heap_nodes = c.heap_nodes.load(std::memory_order_relaxed);
+  return s;
+}
+
+AllocStats::Snapshot AllocStats::Delta(const Snapshot& before,
+                                       const Snapshot& after) {
+  Snapshot d;
+  d.pool_hits = after.pool_hits - before.pool_hits;
+  d.depot_hits = after.depot_hits - before.depot_hits;
+  d.pool_misses = after.pool_misses - before.pool_misses;
+  d.pool_bypass = after.pool_bypass - before.pool_bypass;
+  d.arena_nodes = after.arena_nodes - before.arena_nodes;
+  d.arena_bytes = after.arena_bytes - before.arena_bytes;
+  d.heap_nodes = after.heap_nodes - before.heap_nodes;
+  return d;
+}
+
+bool AllocStats::ReportingEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("DIFFODE_ALLOC_STATS");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+  }();
+  return enabled;
+}
+
+}  // namespace diffode::core

@@ -1,0 +1,69 @@
+#ifndef DIFFODE_CORE_ALLOC_STATS_H_
+#define DIFFODE_CORE_ALLOC_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace diffode::core {
+
+// Process-wide allocation telemetry for the training hot path. The tensor
+// buffer pool and the tape arena record where every allocation was served
+// from; the trainer reports per-epoch deltas when DIFFODE_ALLOC_STATS is set,
+// and tests assert the steady-state contract (a warm training step performs
+// zero pool misses — no heap allocation on intermediates).
+//
+// Counters are always on: they are relaxed atomic increments, far below the
+// cost of the allocations they replace. The environment variable only gates
+// the trainer's reporting.
+class AllocStats {
+ public:
+  struct Snapshot {
+    std::uint64_t pool_hits = 0;    // buffer served from a thread-local cache
+    std::uint64_t depot_hits = 0;   // buffer served from the shared depot
+    std::uint64_t pool_misses = 0;  // pool scope active but heap had to serve
+    std::uint64_t pool_bypass = 0;  // allocation with no pool scope active
+    std::uint64_t arena_nodes = 0;  // tape nodes bump-allocated from an arena
+    std::uint64_t arena_bytes = 0;  // bytes bump-allocated from arenas
+    std::uint64_t heap_nodes = 0;   // tape nodes allocated without an arena
+  };
+
+  static void RecordPoolHit() { Inc(Raw().pool_hits); }
+  static void RecordDepotHit() { Inc(Raw().depot_hits); }
+  static void RecordPoolMiss() { Inc(Raw().pool_misses); }
+  static void RecordPoolBypass() { Inc(Raw().pool_bypass); }
+  static void RecordArenaNode() { Inc(Raw().arena_nodes); }
+  static void RecordArenaBytes(std::uint64_t bytes) {
+    Raw().arena_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  static void RecordHeapNode() { Inc(Raw().heap_nodes); }
+
+  // Consistent-enough point-in-time read (counters are monotone).
+  static Snapshot Read();
+
+  // after - before, fieldwise.
+  static Snapshot Delta(const Snapshot& before, const Snapshot& after);
+
+  // True when the DIFFODE_ALLOC_STATS environment variable is set and
+  // non-zero (checked once per process).
+  static bool ReportingEnabled();
+
+ private:
+  struct Counters {
+    std::atomic<std::uint64_t> pool_hits{0};
+    std::atomic<std::uint64_t> depot_hits{0};
+    std::atomic<std::uint64_t> pool_misses{0};
+    std::atomic<std::uint64_t> pool_bypass{0};
+    std::atomic<std::uint64_t> arena_nodes{0};
+    std::atomic<std::uint64_t> arena_bytes{0};
+    std::atomic<std::uint64_t> heap_nodes{0};
+  };
+
+  static Counters& Raw();
+  static void Inc(std::atomic<std::uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace diffode::core
+
+#endif  // DIFFODE_CORE_ALLOC_STATS_H_

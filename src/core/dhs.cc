@@ -11,17 +11,28 @@ DhsContext BuildDhsContext(const ag::Var& z, Scalar ridge) {
   ctx.z = z;
   ctx.n = z.rows();
   ctx.d = z.cols();
+  ctx.zt = ag::Transpose(z);
   // (Zᵀ)† = Z (ZᵀZ + ridge I)^{-1}; differentiable through the inverse.
-  ag::Var gram = ag::MatMul(ag::Transpose(z), z);
+  ag::Var gram = ag::MatMul(ctx.zt, z);
   ag::Var gram_inv = ag::RidgeInverse(gram, ridge);
   ctx.zt_pinv = ag::MatMul(z, gram_inv);
   // A_p J = 1 - (Zᵀ)† (Zᵀ 1).
   ag::Var ones_col = ag::Constant(Tensor::Ones(Shape{ctx.n, 1}));
-  ag::Var zt_ones = ag::MatMul(ag::Transpose(z), ones_col);  // d x 1
-  ag::Var proj = ag::MatMul(ctx.zt_pinv, zt_ones);           // n x 1
+  ag::Var zt_ones = ag::MatMul(ctx.zt, ones_col);   // d x 1
+  ag::Var proj = ag::MatMul(ctx.zt_pinv, zt_ones);  // n x 1
   ctx.ap_colsum = ag::Sub(ones_col, proj);
+  ctx.ap_rowsum = ag::Transpose(ctx.ap_colsum);
   ctx.ap_total = ag::Sum(ctx.ap_colsum);
+  ctx.ones_row = ag::Constant(Tensor::Ones(Shape{1, ctx.n}));
   return ctx;
+}
+
+void CacheAdaHCorrection(DhsContext* ctx, const ag::Var& h_ada) {
+  DIFFODE_CHECK(ctx != nullptr);
+  DIFFODE_CHECK(h_ada.defined());
+  // h A_p with A_p = I - (Zᵀ)† Zᵀ (symmetric).
+  ag::Var h_proj = ag::MatMulNT(ag::MatMul(h_ada, ctx->zt_pinv), ctx->z);
+  ctx->ada_corr = ag::Sub(h_ada, h_proj);
 }
 
 ag::Var DhsForward(const DhsContext& ctx, const ag::Var& z_query) {
@@ -39,8 +50,11 @@ ag::Var RecoverPVar(const DhsContext& ctx, const ag::Var& s,
     case sparsity::PtStrategy::kMinNorm:
       return b;
     case sparsity::PtStrategy::kAdaH: {
+      // p = b + h A_p. The correction is per-sequence, so Encode caches it
+      // once (CacheAdaHCorrection); fall back to computing it inline for
+      // callers that did not.
+      if (ctx.ada_corr.defined()) return ag::AddInPlace(b, ctx.ada_corr);
       DIFFODE_CHECK(h_ada.defined());
-      // p = b + h A_p with A_p = I - (Zᵀ)† Zᵀ (symmetric).
       ag::Var h_proj = ag::MatMulNT(ag::MatMul(h_ada, ctx.zt_pinv), ctx.z);
       return ag::Add(b, ag::Sub(h_ada, h_proj));
     }
@@ -54,7 +68,7 @@ ag::Var RecoverPVar(const DhsContext& ctx, const ag::Var& s,
       if (std::fabs(ctx.ap_total.value().item()) < 1e-10) return b;
       ag::Var coeff =
           ag::DivByScalarVar(ag::AddScalar(ag::Sum(b), -1.0), ctx.ap_total);
-      ag::Var corr = ag::MulByScalarVar(ag::Transpose(ctx.ap_colsum), coeff);
+      ag::Var corr = ag::MulByScalarVar(ctx.ap_rowsum, coeff);
       return ag::Sub(b, corr);
     }
   }
@@ -68,8 +82,7 @@ ag::Var RecoverZVar(const DhsContext& ctx, const ag::Var& p,
   ag::Var pp = ag::Dot(p, p);
   ag::Var ph = ag::Dot(p, h2);
   ag::Var c = ag::Div(ph, pp);  // 1 x 1
-  ag::Var ones = ag::Constant(Tensor::Ones(Shape{1, ctx.n}));
-  ag::Var a_h = ag::Sub(ag::MulByScalarVar(p, c), ones);
+  ag::Var a_h = ag::Sub(ag::MulByScalarVar(p, c), ctx.ones_row);
   return ag::MulScalar(ag::MatMul(a_h, ctx.zt_pinv),
                        std::sqrt(static_cast<Scalar>(ctx.d)));
 }

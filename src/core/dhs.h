@@ -11,16 +11,31 @@ namespace diffode::core {
 // per-sequence factorization of the attention inversion, built once per
 // forward pass so gradients flow through Z, the Gram inverse, and every
 // recovery. One context per attention head (Z is the head's column slice).
+//
+// The context doubles as the per-sequence factorization cache: everything
+// that depends only on Z (and the free vectors) — Zᵀ, the Gram inverse
+// behind (Zᵀ)†, the projector sums, the adaH correction — is a tape node
+// built exactly once here and shared by every solver step and
+// consistency-loss evaluation of the sequence. Gradients from all uses
+// accumulate into the shared nodes, which is exactly the correct adjoint.
 struct DhsContext {
   ag::Var z;          // n x d_h latent codes (key/value matrix)
+  ag::Var zt;         // Zᵀ, d_h x n (shared by gram, projections)
   ag::Var zt_pinv;    // (Zᵀ)† = Z (ZᵀZ + ridge I)^{-1}, n x d_h
   ag::Var ap_colsum;  // A_p J_{n,1} = (I - (Zᵀ)† Zᵀ) 1, n x 1
+  ag::Var ap_rowsum;  // (A_p J)ᵀ, 1 x n (reused every max-Hoyer recovery)
   ag::Var ap_total;   // J A_p J, 1 x 1
+  ag::Var ones_row;   // constant 1 x n (reused every z-recovery)
+  ag::Var ada_corr;   // h A_p, 1 x n; set by CacheAdaHCorrection (adaH only)
   Index n = 0;
   Index d = 0;
 };
 
 DhsContext BuildDhsContext(const ag::Var& z, Scalar ridge);
+
+// Precomputes the adaH correction h A_p = h - ((h (Zᵀ)†) Zᵀ) so the kAdaH
+// recovery reuses it instead of two GEMMs per solver step.
+void CacheAdaHCorrection(DhsContext* ctx, const ag::Var& h_ada);
 
 // Forward DHS read-out (paper Eq. 5): S = softmax(z_q Zᵀ / sqrt(d)) Z.
 ag::Var DhsForward(const DhsContext& ctx, const ag::Var& z_query);

@@ -113,6 +113,7 @@ class DiffOde : public SequenceModel {
   std::unique_ptr<nn::Mlp> f_out_cls_;  // readout -> num_classes
   std::unique_ptr<nn::Mlp> f_out_reg_;  // readout -> f
   Tensor hippo_a_;    // d_c x d_c (LegS, stable)
+  Tensor hippo_a_t_;  // Aᵀ, cached so Dynamics never re-transposes
   Tensor hippo_b_t_;  // 1 x d_c (Bᵀ)
 };
 

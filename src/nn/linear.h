@@ -27,6 +27,7 @@ class Linear : public Module {
   Index in_features() const { return weight_.rows(); }
   Index out_features() const { return weight_.cols(); }
   const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
 
  private:
   ag::Var weight_;  // in x out

@@ -40,8 +40,15 @@ class Mlp : public Module {
   ag::Var Forward(const ag::Var& x) const {
     ag::Var h = x;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
+      const bool hidden = i + 1 < layers_.size();
+      if (hidden && activation_ == Activation::kTanh) {
+        // Fused hidden-layer step: one tape node for matmul+bias+tanh
+        // instead of three (ag::TanhLinear).
+        h = ag::TanhLinear(h, layers_[i]->weight(), layers_[i]->bias());
+        continue;
+      }
       h = layers_[i]->Forward(h);
-      if (i + 1 < layers_.size()) h = Activate(h, activation_);
+      if (hidden) h = Activate(h, activation_);
     }
     return h;
   }

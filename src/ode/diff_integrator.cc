@@ -7,25 +7,28 @@
 namespace diffode::ode {
 namespace {
 
+// Each stage update is a fused y + h·k node (ag::AxpyFused) instead of a
+// MulScalar + Add pair, and RK4's combination collapses five nodes into one
+// ag::Rk4Combine. The unroll builds these once per solver step, so tape size
+// per step drops by ~2x for RK4.
+
 ag::Var EulerStep(const DiffOdeFunc& f, Scalar t, const ag::Var& y, Scalar h) {
-  return ag::Add(y, ag::MulScalar(f(t, y), h));
+  return ag::AxpyFused(y, f(t, y), h);
 }
 
 ag::Var MidpointStep(const DiffOdeFunc& f, Scalar t, const ag::Var& y,
                      Scalar h) {
   ag::Var k1 = f(t, y);
-  ag::Var k2 = f(t + 0.5 * h, ag::Add(y, ag::MulScalar(k1, 0.5 * h)));
-  return ag::Add(y, ag::MulScalar(k2, h));
+  ag::Var k2 = f(t + 0.5 * h, ag::AxpyFused(y, k1, 0.5 * h));
+  return ag::AxpyFused(y, k2, h);
 }
 
 ag::Var Rk4Step(const DiffOdeFunc& f, Scalar t, const ag::Var& y, Scalar h) {
   ag::Var k1 = f(t, y);
-  ag::Var k2 = f(t + 0.5 * h, ag::Add(y, ag::MulScalar(k1, 0.5 * h)));
-  ag::Var k3 = f(t + 0.5 * h, ag::Add(y, ag::MulScalar(k2, 0.5 * h)));
-  ag::Var k4 = f(t + h, ag::Add(y, ag::MulScalar(k3, h)));
-  ag::Var sum = ag::Add(ag::Add(k1, ag::MulScalar(k2, 2.0)),
-                        ag::Add(ag::MulScalar(k3, 2.0), k4));
-  return ag::Add(y, ag::MulScalar(sum, h / 6.0));
+  ag::Var k2 = f(t + 0.5 * h, ag::AxpyFused(y, k1, 0.5 * h));
+  ag::Var k3 = f(t + 0.5 * h, ag::AxpyFused(y, k2, 0.5 * h));
+  ag::Var k4 = f(t + h, ag::AxpyFused(y, k3, h));
+  return ag::Rk4Combine(y, k1, k2, k3, k4, h);
 }
 
 }  // namespace

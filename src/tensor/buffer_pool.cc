@@ -1,0 +1,185 @@
+#include "tensor/buffer_pool.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "core/alloc_stats.h"
+
+namespace diffode::tensor {
+namespace {
+
+using core::AllocStats;
+
+// Process-wide reservoir of recycled blocks. Immortal by design: worker
+// threads may flush their caches here during thread_local destruction at
+// process teardown, which must never race a depot destructor. The single
+// static pointer keeps every block reachable for LeakSanitizer.
+class Depot {
+ public:
+  static Depot& Get() {
+    static Depot* d = new Depot();
+    return *d;
+  }
+
+  // Moves up to `want` blocks of `bucket` into `out` (a singly linked list);
+  // returns how many were taken.
+  int Grab(int bucket, int want, void** out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    int taken = 0;
+    BufferPoolFreeBlock* head = free_[bucket];
+    BufferPoolFreeBlock* chain = nullptr;
+    while (head != nullptr && taken < want) {
+      BufferPoolFreeBlock* next = head->next;
+      head->next = chain;
+      chain = head;
+      head = next;
+      ++taken;
+    }
+    free_[bucket] = head;
+    *out = chain;
+    return taken;
+  }
+
+  // Takes ownership of a pre-linked chain of `n` blocks.
+  void Put(int bucket, void* chain_head, void* chain_tail) {
+    auto* head = static_cast<BufferPoolFreeBlock*>(chain_head);
+    auto* tail = static_cast<BufferPoolFreeBlock*>(chain_tail);
+    std::lock_guard<std::mutex> lock(mu_);
+    tail->next = free_[bucket];
+    free_[bucket] = head;
+  }
+
+  struct BufferPoolFreeBlock {
+    BufferPoolFreeBlock* next;
+  };
+
+ private:
+  static constexpr int kNumBuckets = 26 - 6 + 1;
+  std::mutex mu_;
+  BufferPoolFreeBlock* free_[kNumBuckets] = {};
+};
+
+std::atomic<bool> g_enabled{true};
+
+thread_local BufferPool* tls_active_pool = nullptr;
+
+}  // namespace
+
+BufferPool::BufferPool() = default;
+
+BufferPool::~BufferPool() { Flush(); }
+
+std::size_t BufferPool::BucketBytes(std::size_t bytes) noexcept {
+  std::size_t cap = std::size_t{1} << kMinShift;
+  while (cap < bytes) cap <<= 1;
+  return cap;
+}
+
+int BufferPool::BucketIndex(std::size_t bytes) noexcept {
+  int shift = kMinShift;
+  std::size_t cap = std::size_t{1} << kMinShift;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++shift;
+  }
+  return shift - kMinShift;
+}
+
+void BufferPool::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool BufferPool::Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+BufferPool& BufferPool::ThreadLocal() {
+  static thread_local BufferPool pool;
+  return pool;
+}
+
+bool BufferPool::ScopeActive() { return tls_active_pool != nullptr; }
+
+BufferPool::Scope::Scope() : prev_(tls_active_pool) {
+  tls_active_pool = &BufferPool::ThreadLocal();
+}
+
+BufferPool::Scope::~Scope() {
+  if (prev_ == nullptr) tls_active_pool->Flush();
+  tls_active_pool = prev_;
+}
+
+void* BufferPool::Allocate(std::size_t bytes) {
+  // Always carve out the full bucket so any block — pooled or bypass — can
+  // later be recycled under the same bucket.
+  const std::size_t cap = BucketBytes(bytes);
+  BufferPool* pool = tls_active_pool;
+  if (pool == nullptr || !Enabled() || bytes > (std::size_t{1} << kMaxShift)) {
+    AllocStats::RecordPoolBypass();
+    return ::operator new(cap);
+  }
+  return pool->AllocateImpl(BucketIndex(bytes));
+}
+
+void BufferPool::Deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  BufferPool* pool = tls_active_pool;
+  if (pool == nullptr || !Enabled() || bytes > (std::size_t{1} << kMaxShift)) {
+    ::operator delete(p);
+    return;
+  }
+  pool->DeallocateImpl(p, BucketIndex(bytes));
+}
+
+void* BufferPool::AllocateImpl(int bucket) {
+  FreeBlock* head = free_[bucket];
+  if (head != nullptr) {
+    free_[bucket] = head->next;
+    --count_[bucket];
+    AllocStats::RecordPoolHit();
+    return head;
+  }
+  // Refill from the depot in a batch.
+  void* chain = nullptr;
+  int got = Depot::Get().Grab(bucket, kBatch, &chain);
+  if (got > 0) {
+    auto* c = static_cast<FreeBlock*>(chain);
+    FreeBlock* result = c;
+    free_[bucket] = c->next;
+    count_[bucket] = got - 1;
+    AllocStats::RecordDepotHit();
+    return result;
+  }
+  AllocStats::RecordPoolMiss();
+  return ::operator new(std::size_t{1} << (bucket + kMinShift));
+}
+
+void BufferPool::DeallocateImpl(void* p, int bucket) noexcept {
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = free_[bucket];
+  free_[bucket] = block;
+  ++count_[bucket];
+  if (count_[bucket] >= kCacheCap) {
+    // Spill a batch (from the head) back to the depot.
+    FreeBlock* head = free_[bucket];
+    FreeBlock* tail = head;
+    for (int i = 1; i < kBatch; ++i) tail = tail->next;
+    free_[bucket] = tail->next;
+    count_[bucket] -= kBatch;
+    Depot::Get().Put(bucket, head, tail);
+  }
+}
+
+void BufferPool::Flush() noexcept {
+  for (int b = 0; b < kNumBuckets; ++b) {
+    FreeBlock* head = free_[b];
+    if (head == nullptr) continue;
+    FreeBlock* tail = head;
+    while (tail->next != nullptr) tail = tail->next;
+    Depot::Get().Put(b, head, tail);
+    free_[b] = nullptr;
+    count_[b] = 0;
+  }
+}
+
+}  // namespace diffode::tensor

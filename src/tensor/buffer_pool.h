@@ -1,0 +1,150 @@
+#ifndef DIFFODE_TENSOR_BUFFER_POOL_H_
+#define DIFFODE_TENSOR_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace diffode::tensor {
+
+// Size-bucketed recycling allocator for tensor storage.
+//
+// Layout: allocations are rounded up to power-of-two buckets (64-byte
+// minimum). Each thread owns a small free-list cache per bucket; caches
+// spill to / refill from a process-wide depot in batches. The depot is
+// immortal (allocated with `new`, reachable from a static pointer) so
+// worker-thread teardown during process exit can never touch a destroyed
+// object, and LeakSanitizer still sees every block as reachable.
+//
+// Activation: the pool only serves requests while a `BufferPool::Scope` is
+// active on the current thread. Outside a scope every allocation takes the
+// heap directly (recorded as a bypass) — but is STILL rounded to its bucket
+// size, so a bypass block later freed inside a scope can be recycled safely.
+// Scopes are re-entrant; the thread cache flushes to the depot only when the
+// outermost scope exits.
+//
+// Determinism: the pool changes where bytes live, never what is computed.
+// Recycled buffers are handed out uninitialized; Tensor zero-fills (or the
+// caller fully overwrites via Tensor::Uninit) exactly as it would with fresh
+// heap memory.
+class BufferPool {
+ public:
+  BufferPool();
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Allocates at least `bytes` (rounded to the bucket size). Never returns
+  // nullptr (throws std::bad_alloc on exhaustion, like operator new).
+  static void* Allocate(std::size_t bytes);
+  // Returns a block obtained from Allocate with the same `bytes`.
+  static void Deallocate(void* p, std::size_t bytes) noexcept;
+
+  // Rounded bucket capacity for a request (what Allocate really hands out).
+  static std::size_t BucketBytes(std::size_t bytes) noexcept;
+
+  // Master switch for A/B equivalence tests: when disabled, Allocate/
+  // Deallocate degrade to plain heap calls (still bucket-rounded).
+  static void SetEnabled(bool enabled);
+  static bool Enabled();
+
+  // The calling thread's pool (created on first use).
+  static BufferPool& ThreadLocal();
+
+  // True if a Scope is active on the calling thread.
+  static bool ScopeActive();
+
+  // RAII activation of the calling thread's pool. Re-entrant.
+  class Scope {
+   public:
+    Scope();
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    BufferPool* prev_;
+  };
+
+  // Returns every cached block on this thread to the depot (normally
+  // automatic on outermost Scope exit).
+  void Flush() noexcept;
+
+ private:
+  friend class Scope;
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  // Buckets: 2^6 (=64) .. 2^kMaxShift bytes. Larger requests bypass the
+  // cache and go straight to the depot/heap bucket-rounded.
+  static constexpr int kMinShift = 6;
+  static constexpr int kMaxShift = 26;  // 64 MiB
+  static constexpr int kNumBuckets = kMaxShift - kMinShift + 1;
+  // Batch size for depot refills / spills, and per-thread cache cap.
+  static constexpr int kBatch = 16;
+  static constexpr int kCacheCap = 64;
+
+  static int BucketIndex(std::size_t bytes) noexcept;
+
+  void* AllocateImpl(int bucket);
+  void DeallocateImpl(void* p, int bucket) noexcept;
+
+  FreeBlock* free_[kNumBuckets] = {};
+  int count_[kNumBuckets] = {};
+};
+
+// std::allocator-compatible adapter over BufferPool, with one extra
+// property: the no-argument `construct(U*)` overload is a no-op, so
+// `std::vector<T, PoolAllocator<T>>(n)` and `resize(n)` leave elements
+// UNINITIALIZED. Tensor uses this to make zero-fill explicit and skippable
+// (Tensor::Uninit) for buffers that are fully overwritten. Value-initialized
+// forms (`construct(p, args...)`) behave normally.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(BufferPool::Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    BufferPool::Deallocate(p, n * sizeof(T));
+  }
+
+  // Default-construct is a deliberate no-op for trivial T: elements come
+  // back uninitialized and the owner is responsible for filling them.
+  template <typename U>
+  void construct(U*) noexcept {
+    static_assert(std::is_trivially_default_constructible<U>::value,
+                  "PoolAllocator skips default construction");
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(static_cast<Args&&>(args)...);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+}  // namespace diffode::tensor
+
+#endif  // DIFFODE_TENSOR_BUFFER_POOL_H_

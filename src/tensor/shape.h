@@ -13,37 +13,54 @@ namespace diffode {
 using Index = std::int64_t;
 
 // Dense row-major tensor extents. Rank 0 (scalar) through rank 3 are used in
-// practice; higher ranks are accepted but unused by the library.
+// practice; kMaxRank bounds what the library accepts. Extents live inline —
+// a Shape never allocates, so tensor metadata stays off the heap in the
+// training hot path.
 class Shape {
  public:
+  static constexpr Index kMaxRank = 4;
+
   Shape() = default;
-  Shape(std::initializer_list<Index> dims) : dims_(dims) { Validate(); }
-  explicit Shape(std::vector<Index> dims) : dims_(std::move(dims)) {
-    Validate();
+  Shape(std::initializer_list<Index> dims) {
+    DIFFODE_CHECK_LE(static_cast<Index>(dims.size()), kMaxRank);
+    for (Index d : dims) {
+      DIFFODE_CHECK_GE(d, 0);
+      dims_[rank_++] = d;
+    }
+  }
+  explicit Shape(const std::vector<Index>& dims) {
+    DIFFODE_CHECK_LE(static_cast<Index>(dims.size()), kMaxRank);
+    for (Index d : dims) {
+      DIFFODE_CHECK_GE(d, 0);
+      dims_[rank_++] = d;
+    }
   }
 
-  Index rank() const { return static_cast<Index>(dims_.size()); }
+  Index rank() const { return rank_; }
 
   Index dim(Index i) const {
     DIFFODE_CHECK_GE(i, 0);
-    DIFFODE_CHECK_LT(i, rank());
-    return dims_[static_cast<std::size_t>(i)];
+    DIFFODE_CHECK_LT(i, rank_);
+    return dims_[i];
   }
 
   Index numel() const {
     Index n = 1;
-    for (Index d : dims_) n *= d;
+    for (Index i = 0; i < rank_; ++i) n *= dims_[i];
     return n;
   }
 
-  const std::vector<Index>& dims() const { return dims_; }
-
-  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
-  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (Index i = 0; i < rank_; ++i)
+      if (dims_[i] != other.dims_[i]) return false;
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
 
   std::string ToString() const {
     std::string s = "[";
-    for (std::size_t i = 0; i < dims_.size(); ++i) {
+    for (Index i = 0; i < rank_; ++i) {
       if (i > 0) s += ", ";
       s += std::to_string(dims_[i]);
     }
@@ -51,11 +68,8 @@ class Shape {
   }
 
  private:
-  void Validate() const {
-    for (Index d : dims_) DIFFODE_CHECK_GE(d, 0);
-  }
-
-  std::vector<Index> dims_;
+  Index dims_[kMaxRank] = {};
+  Index rank_ = 0;
 };
 
 }  // namespace diffode

@@ -9,7 +9,7 @@
 namespace diffode {
 
 Tensor Tensor::Full(Shape shape, Scalar value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninit(std::move(shape));
   for (auto& v : t.data_) v = value;
   return t;
 }
@@ -41,6 +41,10 @@ Tensor Tensor::ColVector(const std::vector<Scalar>& values) {
 Tensor Tensor::FromRows(Index rows, Index cols,
                         const std::vector<Scalar>& values) {
   return Tensor(Shape{rows, cols}, values);
+}
+
+void Tensor::SetZero() {
+  std::fill(data_.begin(), data_.end(), 0.0);
 }
 
 Index Tensor::rows() const {
@@ -126,7 +130,7 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   const Index k = cols();
   DIFFODE_CHECK_MSG(other.rows() == k, "MatMul inner-dimension mismatch");
   const Index n = other.cols();
-  Tensor out(Shape{m, n});
+  Tensor out = Uninit(Shape{m, n});
   kernels::Gemm(m, k, n, data(), other.data(), out.data());
   return out;
 }
@@ -137,7 +141,7 @@ Tensor Tensor::TransposedMatMul(const Tensor& other) const {
   DIFFODE_CHECK_MSG(other.rows() == k,
                     "TransposedMatMul inner-dimension mismatch");
   const Index n = other.cols();
-  Tensor out(Shape{m, n});
+  Tensor out = Uninit(Shape{m, n});
   kernels::GemmTN(m, k, n, data(), other.data(), out.data());
   return out;
 }
@@ -148,7 +152,7 @@ Tensor Tensor::MatMulTransposed(const Tensor& other) const {
   DIFFODE_CHECK_MSG(other.cols() == k,
                     "MatMulTransposed inner-dimension mismatch");
   const Index n = other.rows();
-  Tensor out(Shape{m, n});
+  Tensor out = Uninit(Shape{m, n});
   kernels::GemmNT(m, k, n, data(), other.data(), out.data());
   return out;
 }
@@ -156,7 +160,7 @@ Tensor Tensor::MatMulTransposed(const Tensor& other) const {
 Tensor Tensor::Transposed() const {
   const Index r = rows();
   const Index c = cols();
-  Tensor out(Shape{c, r});
+  Tensor out = Uninit(Shape{c, r});
   const Scalar* src_p = data();
   Scalar* dst = out.data();
   for (Index i = 0; i < r; ++i)
@@ -201,7 +205,7 @@ Scalar Tensor::Dot(const Tensor& other) const {
 Tensor Tensor::RowSums() const {
   const Index r = rows();
   const Index c = cols();
-  Tensor out(Shape{r, 1});
+  Tensor out = Uninit(Shape{r, 1});
   for (Index i = 0; i < r; ++i) {
     Scalar s = 0.0;
     for (Index j = 0; j < c; ++j) s += at(i, j);
@@ -213,7 +217,7 @@ Tensor Tensor::RowSums() const {
 Tensor Tensor::ColSums() const {
   const Index r = rows();
   const Index c = cols();
-  Tensor out(Shape{1, c});
+  Tensor out = Uninit(Shape{1, c});
   for (Index j = 0; j < c; ++j) {
     Scalar s = 0.0;
     for (Index i = 0; i < r; ++i) s += at(i, j);
@@ -229,7 +233,7 @@ Tensor Tensor::Rows(Index begin, Index count) const {
   DIFFODE_CHECK_GE(count, 0);
   DIFFODE_CHECK_LE(begin + count, rows());
   const Index c = cols();
-  Tensor out(Shape{count, c});
+  Tensor out = Uninit(Shape{count, c});
   std::copy(data() + begin * c, data() + (begin + count) * c, out.data());
   return out;
 }
@@ -238,7 +242,7 @@ Tensor Tensor::Col(Index c) const {
   DIFFODE_CHECK_GE(c, 0);
   DIFFODE_CHECK_LT(c, cols());
   const Index r = rows();
-  Tensor out(Shape{r, 1});
+  Tensor out = Uninit(Shape{r, 1});
   for (Index i = 0; i < r; ++i) out.at(i, 0) = at(i, c);
   return out;
 }
@@ -256,7 +260,7 @@ Tensor Tensor::ConcatRows(const std::vector<Tensor>& parts) {
     DIFFODE_CHECK_EQ(p.cols(), c);
     total += p.rows();
   }
-  Tensor out(Shape{total, c});
+  Tensor out = Uninit(Shape{total, c});
   Index r = 0;
   for (const auto& p : parts) {
     for (Index i = 0; i < p.rows(); ++i)
@@ -274,7 +278,7 @@ Tensor Tensor::ConcatCols(const std::vector<Tensor>& parts) {
     DIFFODE_CHECK_EQ(p.rows(), r);
     total += p.cols();
   }
-  Tensor out(Shape{r, total});
+  Tensor out = Uninit(Shape{r, total});
   Index c = 0;
   for (const auto& p : parts) {
     for (Index i = 0; i < r; ++i)

@@ -6,12 +6,18 @@
 #include <string>
 #include <vector>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/check.h"
 #include "tensor/shape.h"
 
 namespace diffode {
 
 using Scalar = double;
+
+// Tensor storage draws from the size-bucketed buffer pool whenever a
+// tensor::BufferPool::Scope is active on the current thread; otherwise the
+// allocator degrades to (bucket-rounded) heap allocation.
+using TensorData = std::vector<Scalar, tensor::PoolAllocator<Scalar>>;
 
 // Dense row-major tensor of doubles. Value-semantic: copies copy the buffer.
 // This is the numeric substrate for the autograd tape, the ODE solvers, and
@@ -24,13 +30,25 @@ class Tensor {
   explicit Tensor(Shape shape)
       : shape_(std::move(shape)),
         data_(static_cast<std::size_t>(shape_.numel()), 0.0) {}
-  Tensor(Shape shape, std::vector<Scalar> data)
+  Tensor(Shape shape, TensorData data)
       : shape_(std::move(shape)), data_(std::move(data)) {
+    DIFFODE_CHECK_EQ(shape_.numel(), static_cast<Index>(data_.size()));
+  }
+  Tensor(Shape shape, const std::vector<Scalar>& data)
+      : shape_(std::move(shape)), data_(data.begin(), data.end()) {
     DIFFODE_CHECK_EQ(shape_.numel(), static_cast<Index>(data_.size()));
   }
 
   // Factories.
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  // Allocates WITHOUT zero-filling. Only for buffers where every element is
+  // written before it is read (e.g. GEMM outputs, full elementwise maps).
+  static Tensor Uninit(Shape shape) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_.resize(static_cast<std::size_t>(t.shape_.numel()));
+    return t;
+  }
   static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0); }
   static Tensor Full(Shape shape, Scalar value);
   static Tensor Eye(Index n);
@@ -56,7 +74,10 @@ class Tensor {
   // Raw element access.
   Scalar* data() { return data_.data(); }
   const Scalar* data() const { return data_.data(); }
-  const std::vector<Scalar>& values() const { return data_; }
+  const TensorData& values() const { return data_; }
+
+  // Zeroes every element in place, keeping the buffer.
+  void SetZero();
 
   Scalar& operator[](Index i) {
     DIFFODE_CHECK_GE(i, 0);
@@ -132,7 +153,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<Scalar> data_;
+  TensorData data_;
 };
 
 }  // namespace diffode

@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <utility>
 
+#include "autograd/arena.h"
 #include "autograd/ops.h"
+#include "core/alloc_stats.h"
 #include "core/parallel.h"
 #include "nn/optimizer.h"
+#include "tensor/buffer_pool.h"
 #include "train/timer.h"
 
 namespace diffode::train {
@@ -72,8 +75,17 @@ std::vector<Scalar> RunShards(const std::vector<ag::Var>& params, Index b,
   for (Index k = 0; k < b; ++k) sinks.emplace_back(params);
   std::vector<Scalar> losses(static_cast<std::size_t>(b), 0.0);
   parallel::ThreadPool::Get().Run(b, [&](Index k) {
-    ag::GradSink::Scope scope(&sinks[static_cast<std::size_t>(k)]);
-    losses[static_cast<std::size_t>(k)] = shard(k);
+    // Each shard builds its tape out of this thread's arena and draws tensor
+    // buffers from its pool; once the shard returns, every Var it created is
+    // dead (aux losses were taken, the loss Var was local), so the arena can
+    // be reclaimed wholesale before the next shard reuses this thread.
+    ag::TapeArena::Scope arena_scope;
+    tensor::BufferPool::Scope pool_scope;
+    {
+      ag::GradSink::Scope scope(&sinks[static_cast<std::size_t>(k)]);
+      losses[static_cast<std::size_t>(k)] = shard(k);
+    }
+    ag::TapeArena::ThreadLocal().Reset();
   });
   for (Index stride = 1; stride < b; stride *= 2)
     for (Index i = 0; i + stride < b; i += 2 * stride)
@@ -90,6 +102,27 @@ void DropStaleAux(core::SequenceModel* model) {
   (void)model->TakeAuxiliaryLoss();
 }
 
+// Prints the allocation counters accumulated over one epoch when
+// DIFFODE_ALLOC_STATS is set. pool_misses should be zero at steady state.
+void ReportAllocStats(const std::string& model_name, Index epoch,
+                      const core::AllocStats::Snapshot& before) {
+  if (!core::AllocStats::ReportingEnabled()) return;
+  const core::AllocStats::Snapshot d =
+      core::AllocStats::Delta(before, core::AllocStats::Read());
+  std::printf(
+      "[%s] alloc epoch %lld: pool_hits=%llu depot_hits=%llu "
+      "pool_misses=%llu bypass=%llu arena_nodes=%llu arena_bytes=%llu "
+      "heap_nodes=%llu\n",
+      model_name.c_str(), static_cast<long long>(epoch),
+      static_cast<unsigned long long>(d.pool_hits),
+      static_cast<unsigned long long>(d.depot_hits),
+      static_cast<unsigned long long>(d.pool_misses),
+      static_cast<unsigned long long>(d.pool_bypass),
+      static_cast<unsigned long long>(d.arena_nodes),
+      static_cast<unsigned long long>(d.arena_bytes),
+      static_cast<unsigned long long>(d.heap_nodes));
+}
+
 }  // namespace
 
 Scalar EvaluateAccuracy(core::SequenceModel* model,
@@ -99,14 +132,19 @@ Scalar EvaluateAccuracy(core::SequenceModel* model,
   if (n == 0) return 0.0;
   std::vector<unsigned char> correct(static_cast<std::size_t>(n), 0);
   parallel::ThreadPool::Get().Run(n, [&](Index i) {
-    const auto& s = split[static_cast<std::size_t>(i)];
-    DropStaleAux(model);
-    ag::Var logits = model->ClassifyLogits(s);
-    DropStaleAux(model);
-    Index best = 0;
-    for (Index c = 1; c < logits.cols(); ++c)
-      if (logits.value().at(0, c) > logits.value().at(0, best)) best = c;
-    correct[static_cast<std::size_t>(i)] = (best == s.label) ? 1 : 0;
+    ag::TapeArena::Scope arena_scope;
+    tensor::BufferPool::Scope pool_scope;
+    {
+      const auto& s = split[static_cast<std::size_t>(i)];
+      DropStaleAux(model);
+      ag::Var logits = model->ClassifyLogits(s);
+      DropStaleAux(model);
+      Index best = 0;
+      for (Index c = 1; c < logits.cols(); ++c)
+        if (logits.value().at(0, c) > logits.value().at(0, best)) best = c;
+      correct[static_cast<std::size_t>(i)] = (best == s.label) ? 1 : 0;
+    }
+    ag::TapeArena::ThreadLocal().Reset();
   });
   Index hits = 0;
   for (unsigned char c : correct) hits += c;
@@ -128,11 +166,15 @@ FitResult TrainClassifier(core::SequenceModel* model,
       static_cast<std::size_t>(CappedSize(dataset.train, options.max_train_samples)));
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<Index>(i);
   for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    const core::AllocStats::Snapshot alloc_before = core::AllocStats::Read();
     std::shuffle(order.begin(), order.end(), rng.engine());
     Scalar epoch_loss = 0.0;
     optimizer.ZeroGrad();
     std::size_t pos = 0;
     while (pos < order.size()) {
+      // Recycles the step's transients (sink buffers, Adam temporaries) so
+      // steady-state batches allocate nothing from the heap.
+      tensor::BufferPool::Scope step_pool;
       const Index b = std::min<Index>(options.batch_size,
                                       static_cast<Index>(order.size() - pos));
       const Index* batch = order.data() + pos;
@@ -157,6 +199,7 @@ FitResult TrainClassifier(core::SequenceModel* model,
     result.epochs_run = epoch + 1;
     const Scalar val_acc =
         EvaluateAccuracy(model, dataset.val, options.max_eval_samples);
+    ReportAllocStats(model->name(), epoch, alloc_before);
     if (options.verbose) {
       std::printf("[%s] epoch %lld loss %.4f val_acc %.3f\n",
                   model->name().c_str(), static_cast<long long>(epoch),
@@ -193,24 +236,30 @@ Scalar EvaluateMse(core::SequenceModel* model,
   std::vector<Scalar> sq(static_cast<std::size_t>(n), 0.0);
   std::vector<Scalar> cnt(static_cast<std::size_t>(n), 0.0);
   parallel::ThreadPool::Get().Run(n, [&](Index i) {
-    Rng rng(seed + static_cast<std::uint64_t>(i) * 1315423911ull);
-    data::TaskView view =
-        MakeView(split[static_cast<std::size_t>(i)], task, target_frac, rng);
-    TargetRows targets = CollectTargets(view);
-    if (targets.empty || view.context.length() < 2) return;
-    DropStaleAux(model);
-    std::vector<ag::Var> preds = model->PredictAt(view.context, targets.times);
-    DropStaleAux(model);
-    for (std::size_t k = 0; k < preds.size(); ++k) {
-      for (Index j = 0; j < targets.values.cols(); ++j) {
-        if (targets.mask.at(static_cast<Index>(k), j) > 0) {
-          const Scalar diff = preds[k].value().at(0, j) -
-                              targets.values.at(static_cast<Index>(k), j);
-          sq[static_cast<std::size_t>(i)] += diff * diff;
-          cnt[static_cast<std::size_t>(i)] += 1.0;
+    ag::TapeArena::Scope arena_scope;
+    tensor::BufferPool::Scope pool_scope;
+    [&] {
+      Rng rng(seed + static_cast<std::uint64_t>(i) * 1315423911ull);
+      data::TaskView view =
+          MakeView(split[static_cast<std::size_t>(i)], task, target_frac, rng);
+      TargetRows targets = CollectTargets(view);
+      if (targets.empty || view.context.length() < 2) return;
+      DropStaleAux(model);
+      std::vector<ag::Var> preds =
+          model->PredictAt(view.context, targets.times);
+      DropStaleAux(model);
+      for (std::size_t k = 0; k < preds.size(); ++k) {
+        for (Index j = 0; j < targets.values.cols(); ++j) {
+          if (targets.mask.at(static_cast<Index>(k), j) > 0) {
+            const Scalar diff = preds[k].value().at(0, j) -
+                                targets.values.at(static_cast<Index>(k), j);
+            sq[static_cast<std::size_t>(i)] += diff * diff;
+            cnt[static_cast<std::size_t>(i)] += 1.0;
+          }
         }
       }
-    }
+    }();
+    ag::TapeArena::ThreadLocal().Reset();
   });
   Scalar sq_sum = 0.0;
   Scalar count = 0.0;
@@ -241,12 +290,16 @@ FitResult TrainRegressor(core::SequenceModel* model,
     TargetRows targets;
   };
   for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    const core::AllocStats::Snapshot alloc_before = core::AllocStats::Read();
     std::shuffle(order.begin(), order.end(), rng.engine());
     Scalar epoch_loss = 0.0;
     Index contributing = 0;
     optimizer.ZeroGrad();
     std::size_t pos = 0;
     while (pos < order.size()) {
+      // Recycles the step's transients (sink buffers, Adam temporaries) so
+      // steady-state batches allocate nothing from the heap.
+      tensor::BufferPool::Scope step_pool;
       // Views draw from the epoch RNG, so they are built serially in sample
       // order; only the model forwards/backwards fan out.
       std::vector<Prepared> batch;
@@ -287,6 +340,7 @@ FitResult TrainRegressor(core::SequenceModel* model,
     const Scalar val_mse =
         EvaluateMse(model, dataset.val, task, options.interp_target_frac,
                     options.seed + 1, options.max_eval_samples);
+    ReportAllocStats(model->name(), epoch, alloc_before);
     if (options.verbose) {
       std::printf("[%s] epoch %lld loss %.5f val_mse(x1e-2) %.4f\n",
                   model->name().c_str(), static_cast<long long>(epoch),
