@@ -15,6 +15,7 @@
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 #include "tensor/random.h"
+#include "tensor/simd.h"
 
 namespace diffode {
 namespace {
@@ -248,6 +249,131 @@ void BM_TensorAllocPooled(benchmark::State& state) {
   for (auto _ : state) RunTensorChurn(n);
 }
 BENCHMARK(BM_TensorAllocPooled)->Arg(1 << 8)->Arg(1 << 14);
+
+// ---- Kernel ISA sweep ------------------------------------------------------
+// Scalar vs AVX2 backend on the GEMM shapes the model actually runs (Table V
+// workloads): GRU gate projections, MLP heads, attention score/backward
+// products, plus the vectorized transcendental maps. Arg 0 picks the ISA
+// (0 = scalar, 1 = avx2); avx2 rows are skipped on hosts without AVX2+FMA.
+// scripts/bench_report.sh pairs the rows into the BENCH_PR3 speedup table.
+
+simd::Isa IsaArg(benchmark::State& state) {
+  return state.range(0) == 0 ? simd::Isa::kScalar : simd::Isa::kAvx2;
+}
+
+// Sets the requested ISA for the benchmark body; restores on destruction.
+struct BenchIsaScope {
+  explicit BenchIsaScope(benchmark::State& state)
+      : prev(simd::ActiveIsa()), ok(simd::SetActiveIsa(IsaArg(state))) {
+    if (!ok) state.SkipWithError("ISA not supported on this host/build");
+    state.SetLabel(simd::IsaName(IsaArg(state)));
+  }
+  ~BenchIsaScope() { simd::SetActiveIsa(prev); }
+  simd::Isa prev;
+  bool ok;
+};
+
+void BM_GemmIsa(benchmark::State& state) {
+  BenchIsaScope isa(state);
+  if (!isa.ok) return;
+  const Index m = state.range(1), k = state.range(2), n = state.range(3);
+  Rng rng(20);
+  Tensor a = rng.NormalTensor(Shape{m, k});
+  Tensor b = rng.NormalTensor(Shape{k, n});
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    kernels::Gemm(m, k, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_GemmIsa)
+    ->ArgNames({"isa", "m", "k", "n"})
+    ->Args({0, 1, 64, 192})      // GRU gate projection, one observation
+    ->Args({1, 1, 64, 192})
+    ->Args({0, 32, 64, 192})     // GRU gates, batched encoder sweep
+    ->Args({1, 32, 64, 192})
+    ->Args({0, 32, 64, 64})      // MLP head layer
+    ->Args({1, 32, 64, 64})
+    ->Args({0, 128, 128, 128})   // square reference point
+    ->Args({1, 128, 128, 128});
+
+void BM_GemmTNIsa(benchmark::State& state) {
+  BenchIsaScope isa(state);
+  if (!isa.ok) return;
+  const Index m = state.range(1), k = state.range(2), n = state.range(3);
+  Rng rng(21);
+  Tensor a = rng.NormalTensor(Shape{k, m});  // A stored transposed
+  Tensor b = rng.NormalTensor(Shape{k, n});
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    kernels::GemmTN(m, k, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_GemmTNIsa)
+    ->ArgNames({"isa", "m", "k", "n"})
+    ->Args({0, 64, 128, 64})     // xᵀ·g weight-gradient shape
+    ->Args({1, 64, 128, 64})
+    ->Args({0, 128, 128, 128})
+    ->Args({1, 128, 128, 128});
+
+void BM_GemmNTIsa(benchmark::State& state) {
+  BenchIsaScope isa(state);
+  if (!isa.ok) return;
+  const Index m = state.range(1), k = state.range(2), n = state.range(3);
+  Rng rng(22);
+  Tensor a = rng.NormalTensor(Shape{m, k});
+  Tensor b = rng.NormalTensor(Shape{n, k});  // B stored transposed
+  Tensor c(Shape{m, n});
+  for (auto _ : state) {
+    kernels::GemmNT(m, k, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_GemmNTIsa)
+    ->ArgNames({"isa", "m", "k", "n"})
+    ->Args({0, 128, 32, 128})    // attention scores z·zᵀ, d=32
+    ->Args({1, 128, 32, 128})
+    ->Args({0, 128, 64, 128})    // attention scores, d=64
+    ->Args({1, 128, 64, 128});
+
+void BM_MapTanhIsa(benchmark::State& state) {
+  BenchIsaScope isa(state);
+  if (!isa.ok) return;
+  const Index n = state.range(1);
+  Rng rng(23);
+  Tensor x = rng.NormalTensor(Shape{n});
+  Tensor out(Shape{n});
+  for (auto _ : state) {
+    kernels::MapTanh(n, x.data(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MapTanhIsa)
+    ->ArgNames({"isa", "n"})
+    ->Args({0, 1 << 12})
+    ->Args({1, 1 << 12})
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16});
+
+void BM_MapExpIsa(benchmark::State& state) {
+  BenchIsaScope isa(state);
+  if (!isa.ok) return;
+  const Index n = state.range(1);
+  Rng rng(24);
+  Tensor x = rng.NormalTensor(Shape{n});
+  Tensor out(Shape{n});
+  for (auto _ : state) {
+    kernels::MapExp(n, x.data(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MapExpIsa)
+    ->ArgNames({"isa", "n"})
+    ->Args({0, 1 << 12})
+    ->Args({1, 1 << 12})
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16});
 
 void BM_DhsDerivative(benchmark::State& state) {
   const Index n = state.range(0);

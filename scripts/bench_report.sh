@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the Table V efficiency benchmark and writes BENCH_PR2.json with the
-# before/after ms-per-epoch of every model. "Before" defaults to the numbers
-# recorded on main prior to the allocation-free hot path (PR 2); point
+# Runs the Table V efficiency benchmark plus the kernel ISA micro sweep and
+# writes BENCH_PR3.json with the before/after ms-per-epoch of every model and
+# the scalar-vs-avx2 speedup of each GEMM/map shape. "Before" defaults to the
+# numbers recorded on main after the allocation-free hot path (PR 2); point
 # BASELINE_CSV at a saved `bench_table5_efficiency --csv` dump to compare
 # against a different baseline.
 #
@@ -10,28 +11,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR2.json}"
+OUT="${OUT:-BENCH_PR3.json}"
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target bench_table5_efficiency > /dev/null
+cmake --build build -j --target bench_table5_efficiency bench_micro_substrates > /dev/null
 
 AFTER_CSV="$(mktemp)"
-trap 'rm -f "$AFTER_CSV"' EXIT
+MICRO_JSON="$(mktemp)"
+trap 'rm -f "$AFTER_CSV" "$MICRO_JSON"' EXIT
 ./build/bench/bench_table5_efficiency --csv > "$AFTER_CSV"
+./build/bench/bench_micro_substrates --benchmark_filter='Isa' \
+  --benchmark_format=json > "$MICRO_JSON" 2>/dev/null
 
-BASELINE_CSV="${BASELINE_CSV:-}" AFTER_CSV="$AFTER_CSV" OUT="$OUT" python3 - <<'EOF'
+BASELINE_CSV="${BASELINE_CSV:-}" AFTER_CSV="$AFTER_CSV" \
+MICRO_JSON="$MICRO_JSON" OUT="$OUT" python3 - <<'EOF'
 import csv, json, os
 
-# ms/epoch measured on main (commit 8c27b36) at the default bench scale,
-# before the tape arena / buffer pool / DHS cache landed.
+# ms/epoch measured on main (commit 9673e60) at the default bench scale,
+# after the tape arena / buffer pool / DHS cache but before the AVX2+FMA
+# kernel backend (the BENCH_PR2.json "after" column).
 DEFAULT_BEFORE = {
-    "ContiFormer": 56.5,
-    "HiPPO-obs": 9.3,
-    "GRU-D": 36.4,
-    "ODE-RNN": 37.2,
-    "Latent ODE": 61.8,
-    "PolyODE": 56.6,
-    "DIFFODE": 155.9,
+    "ContiFormer": 18.8,
+    "HiPPO-obs": 5.7,
+    "GRU-D": 17.7,
+    "ODE-RNN": 18.8,
+    "Latent ODE": 31.1,
+    "PolyODE": 31.0,
+    "DIFFODE": 93.4,
 }
 
 def load(path):
@@ -58,11 +64,39 @@ for name, ms in after.items():
         entry["improvement_pct"] = round(100.0 * (before[name] - ms) / before[name], 1)
     models.append(entry)
 
+# Pair the scalar/avx2 rows of the ISA sweep by benchmark shape.
+with open(os.environ["MICRO_JSON"]) as f:
+    micro = json.load(f)
+rows = {}
+for b in micro.get("benchmarks", []):
+    name = b.get("name", "")
+    if "/isa:" not in name or b.get("error_occurred"):
+        continue
+    shape = name.replace("/isa:0", "").replace("/isa:1", "")
+    isa = "scalar" if "/isa:0" in name else "avx2"
+    rows.setdefault(shape, {})[isa] = b.get("real_time")
+kernels = []
+for shape in sorted(rows):
+    r = rows[shape]
+    entry = {"benchmark": shape}
+    if "scalar" in r:
+        entry["scalar_ns"] = round(r["scalar"], 1)
+    if "avx2" in r:
+        entry["avx2_ns"] = round(r["avx2"], 1)
+    if "scalar" in r and "avx2" in r and r["avx2"]:
+        entry["speedup"] = round(r["scalar"] / r["avx2"], 2)
+    kernels.append(entry)
+
 report = {
     "benchmark": "bench_table5_efficiency",
     "metric": "ms_per_epoch",
-    "baseline": baseline_csv or "main@8c27b36 (recorded)",
+    "baseline": baseline_csv or "main@9673e60 (BENCH_PR2 after)",
     "models": models,
+    "kernel_isa_sweep": {
+        "benchmark": "bench_micro_substrates --benchmark_filter=Isa",
+        "metric": "real_time_ns",
+        "kernels": kernels,
+    },
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(report, f, indent=2)

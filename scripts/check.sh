@@ -2,13 +2,16 @@
 # Tier-1 verification: builds and runs the full test suite serially and in
 # parallel, then rebuilds the threading-relevant tests under ThreadSanitizer.
 #
-#   scripts/check.sh              # full sweep
-#   SKIP_TSAN=1 scripts/check.sh  # skip the ThreadSanitizer leg
-#   SKIP_ASAN=1 scripts/check.sh  # skip the AddressSanitizer leg
+#   scripts/check.sh               # full sweep
+#   SKIP_TSAN=1 scripts/check.sh   # skip the ThreadSanitizer leg
+#   SKIP_ASAN=1 scripts/check.sh   # skip the AddressSanitizer leg
+#   SKIP_UBSAN=1 scripts/check.sh  # skip the UBSan leg
 #
 # The determinism contract (docs/performance.md) makes DIFFODE_NUM_THREADS=1
 # and =4 produce bitwise-identical results, so running both configurations is
-# a regression gate, not a flake source.
+# a regression gate, not a flake source. The same holds per kernel ISA:
+# DIFFODE_KERNEL_ISA=scalar must pass the identical suite the dispatched
+# (AVX2 where available) build passes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +24,12 @@ echo "== tier-1: ctest, DIFFODE_NUM_THREADS=1 =="
 
 echo "== tier-1: ctest, default thread count =="
 (cd build && ctest --output-on-failure -j)
+
+echo "== tier-1: ctest, DIFFODE_KERNEL_ISA=scalar =="
+# Forces the portable scalar kernel backend through the runtime dispatcher;
+# every test must pass on it bit-for-bit deterministically, since it is the
+# fallback on machines without AVX2+FMA.
+(cd build && DIFFODE_KERNEL_ISA=scalar ctest --output-on-failure -j)
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: configure + build (-DDIFFODE_SANITIZE=thread) =="
@@ -44,6 +53,23 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
 
   echo "== asan: full suite =="
   (cd build-asan && ctest --output-on-failure -j)
+fi
+
+if [[ "${SKIP_UBSAN:-0}" != "1" ]]; then
+  # The AVX2 backend leans on pointer arithmetic over raw panels and masked
+  # tail loads; UBSan (non-recovering) is the gate that no kernel indexes
+  # out of its contractual range or hits signed overflow on the fixed-grid
+  # partition math. Runs on both ISAs so the dispatcher and the scalar
+  # fallback see identical coverage.
+  echo "== ubsan: configure + build (-DDIFFODE_SANITIZE=undefined) =="
+  cmake -B build-ubsan -S . -DDIFFODE_SANITIZE=undefined > /dev/null
+  cmake --build build-ubsan -j > /dev/null
+
+  echo "== ubsan: full suite (dispatched ISA) =="
+  (cd build-ubsan && ctest --output-on-failure -j)
+
+  echo "== ubsan: full suite, DIFFODE_KERNEL_ISA=scalar =="
+  (cd build-ubsan && DIFFODE_KERNEL_ISA=scalar ctest --output-on-failure -j)
 fi
 
 echo "== check.sh: all green =="

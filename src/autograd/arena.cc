@@ -1,22 +1,10 @@
 #include "autograd/arena.h"
 
 #include <algorithm>
-#include <atomic>
-
-#include "core/alloc_stats.h"
-#include "tensor/check.h"
 
 namespace diffode::ag {
-namespace {
 
-std::atomic<bool> g_arena_enabled{true};
-
-thread_local TapeArena* tls_active_arena = nullptr;
-
-}  // namespace
-
-void* TapeArena::Allocate(std::size_t bytes, std::size_t align) {
-  DIFFODE_CHECK_GT(align, 0u);
+void* TapeArena::AllocateSlow(std::size_t bytes, std::size_t align) {
   for (;;) {
     if (cur_ < blocks_.size()) {
       Block& b = blocks_[cur_];
@@ -46,28 +34,15 @@ void TapeArena::Reset() {
   in_use_ = 0;
 }
 
-TapeArena* TapeArena::Active() {
-  if (!Enabled()) return nullptr;
-  return tls_active_arena;
-}
-
 TapeArena& TapeArena::ThreadLocal() {
   static thread_local TapeArena arena;
   return arena;
 }
 
-void TapeArena::SetEnabled(bool enabled) {
-  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+TapeArena::Scope::Scope() : prev_(tls_active_) {
+  tls_active_ = &TapeArena::ThreadLocal();
 }
 
-bool TapeArena::Enabled() {
-  return g_arena_enabled.load(std::memory_order_relaxed);
-}
-
-TapeArena::Scope::Scope() : prev_(tls_active_arena) {
-  tls_active_arena = &TapeArena::ThreadLocal();
-}
-
-TapeArena::Scope::~Scope() { tls_active_arena = prev_; }
+TapeArena::Scope::~Scope() { tls_active_ = prev_; }
 
 }  // namespace diffode::ag

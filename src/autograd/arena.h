@@ -1,9 +1,13 @@
 #ifndef DIFFODE_AUTOGRAD_ARENA_H_
 #define DIFFODE_AUTOGRAD_ARENA_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
+
+#include "core/alloc_stats.h"
+#include "tensor/check.h"
 
 namespace diffode::ag {
 
@@ -31,8 +35,26 @@ class TapeArena {
   TapeArena(const TapeArena&) = delete;
   TapeArena& operator=(const TapeArena&) = delete;
 
-  // Bump-allocates `bytes` with the given alignment.
-  void* Allocate(std::size_t bytes, std::size_t align);
+  // Bump-allocates `bytes` with the given alignment. The warm path — room
+  // left in the current block — is inline: a training step makes millions of
+  // node/parent-vector allocations and the call overhead of an out-of-line
+  // pointer bump is itself measurable. Block advance/growth stays in
+  // AllocateSlow.
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    DIFFODE_CHECK_GT(align, 0u);
+    if (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.capacity) {
+        void* p = b.data.get() + aligned;
+        offset_ = aligned + bytes;
+        in_use_ += bytes;
+        core::AllocStats::RecordArenaBytes(bytes);
+        return p;
+      }
+    }
+    return AllocateSlow(bytes, align);
+  }
 
   // Makes all arena memory reusable. Blocks are kept. The caller must have
   // dropped every pointer into the arena first.
@@ -42,16 +64,22 @@ class TapeArena {
   std::size_t BytesInUse() const { return in_use_; }
 
   // The arena installed on the current thread, or nullptr if no scope is
-  // active (or arenas are disabled).
-  static TapeArena* Active();
+  // active (or arenas are disabled). Inline for the same reason as
+  // Allocate: ArenaAllocator construction queries it per tape allocation.
+  static TapeArena* Active() {
+    if (!Enabled()) return nullptr;
+    return tls_active_;
+  }
 
   // The calling thread's arena (created on first use).
   static TapeArena& ThreadLocal();
 
   // Master switch for A/B equivalence tests. When disabled, Active()
   // returns nullptr even inside a Scope, so nodes fall back to make_shared.
-  static void SetEnabled(bool enabled);
-  static bool Enabled();
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
 
   // RAII installer of the calling thread's arena. Re-entrant.
   class Scope {
@@ -72,6 +100,13 @@ class TapeArena {
     std::unique_ptr<char[]> data;
     std::size_t capacity = 0;
   };
+
+  // Out-of-line tail of Allocate: advances to a retained block or grows the
+  // arena, then bumps.
+  void* AllocateSlow(std::size_t bytes, std::size_t align);
+
+  inline static std::atomic<bool> enabled_{true};
+  inline static thread_local TapeArena* tls_active_ = nullptr;
 
   std::vector<Block> blocks_;
   std::size_t cur_ = 0;     // index of the block being bumped

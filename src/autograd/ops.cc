@@ -277,17 +277,20 @@ Var Softmax(const Var& a) {
   const Index c = x.cols();
   const Scalar* xp = x.data();
   Scalar* yp = y.data();
+  // Three passes so the exp runs as one vectorized map over the whole
+  // matrix: shift each row by its max, exponentiate, then normalize.
   for (Index i = 0; i < r; ++i) {
     const Scalar* xi = xp + i * c;
     Scalar* yi = yp + i * c;
     Scalar m = xi[0];
     for (Index j = 1; j < c; ++j) m = std::max(m, xi[j]);
+    for (Index j = 0; j < c; ++j) yi[j] = xi[j] - m;
+  }
+  kernels::MapExp(r * c, yp, yp);
+  for (Index i = 0; i < r; ++i) {
+    Scalar* yi = yp + i * c;
     Scalar z = 0.0;
-    for (Index j = 0; j < c; ++j) {
-      const Scalar e = std::exp(xi[j] - m);
-      yi[j] = e;
-      z += e;
-    }
+    for (Index j = 0; j < c; ++j) z += yi[j];
     const Scalar inv_z = 1.0 / z;
     for (Index j = 0; j < c; ++j) yi[j] *= inv_z;
   }
@@ -341,15 +344,13 @@ Var UnaryFromInput(const Var& a, Fwd fwd, Bwd bwd) {
 }  // namespace
 
 Var Tanh(const Var& a) {
-  return UnaryFromValue(
-      a, [](Scalar x) { return std::tanh(x); },
-      [](Scalar g, Scalar y) { return g * (1.0 - y * y); });
+  return UnaryFromValue(a, kernels::ops::Tanh{},
+                        [](Scalar g, Scalar y) { return g * (1.0 - y * y); });
 }
 
 Var Sigmoid(const Var& a) {
-  return UnaryFromValue(
-      a, [](Scalar x) { return 1.0 / (1.0 + std::exp(-x)); },
-      [](Scalar g, Scalar y) { return g * y * (1.0 - y); });
+  return UnaryFromValue(a, kernels::ops::Sigmoid{},
+                        [](Scalar g, Scalar y) { return g * y * (1.0 - y); });
 }
 
 Var Relu(const Var& a) {
@@ -359,9 +360,8 @@ Var Relu(const Var& a) {
 }
 
 Var Exp(const Var& a) {
-  return UnaryFromValue(
-      a, [](Scalar x) { return std::exp(x); },
-      [](Scalar g, Scalar y) { return g * y; });
+  return UnaryFromValue(a, kernels::ops::Exp{},
+                        [](Scalar g, Scalar y) { return g * y; });
 }
 
 Var Log(const Var& a) {
@@ -472,8 +472,8 @@ Var TanhLinear(const Var& x, const Var& w, const Var& b) {
     Scalar* yp = y.data();
     const Scalar* bp = b.value().data();
     for (Index i = 0; i < r; ++i)
-      for (Index j = 0; j < c; ++j)
-        yp[i * c + j] = std::tanh(yp[i * c + j] + bp[j]);
+      for (Index j = 0; j < c; ++j) yp[i * c + j] += bp[j];
+    kernels::MapTanh(r * c, yp, yp);
   }
   return MakeNode(std::move(y), {x, w, b}, [](Node& n) {
     const Tensor& xv = n.parents[0]->value;
@@ -636,18 +636,21 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels) {
   Tensor probs = Tensor::Uninit(x.shape());
   const Scalar* xp = x.data();
   Scalar* pp = probs.data();
-  Scalar loss = 0.0;
+  // Same three-pass shape as Softmax: shift, one vectorized exp over the
+  // whole batch, then normalize and pick out the label probabilities.
   for (Index i = 0; i < b; ++i) {
     const Scalar* xi = xp + i * c;
     Scalar* pi = pp + i * c;
     Scalar m = xi[0];
     for (Index j = 1; j < c; ++j) m = std::max(m, xi[j]);
+    for (Index j = 0; j < c; ++j) pi[j] = xi[j] - m;
+  }
+  kernels::MapExp(b * c, pp, pp);
+  Scalar loss = 0.0;
+  for (Index i = 0; i < b; ++i) {
+    Scalar* pi = pp + i * c;
     Scalar z = 0.0;
-    for (Index j = 0; j < c; ++j) {
-      const Scalar e = std::exp(xi[j] - m);
-      pi[j] = e;
-      z += e;
-    }
+    for (Index j = 0; j < c; ++j) z += pi[j];
     const Scalar inv_z = 1.0 / z;
     for (Index j = 0; j < c; ++j) pi[j] *= inv_z;
     const Index label = labels[static_cast<std::size_t>(i)];

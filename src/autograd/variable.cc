@@ -1,18 +1,14 @@
 #include "autograd/variable.h"
 
-#include <unordered_set>
-
 #include "core/alloc_stats.h"
 
 namespace diffode::ag {
 namespace {
 
-// Per-thread scratch for Backward. The containers keep their capacity (and
-// hash buckets) between calls, so a warm backward pass performs no scratch
-// allocation.
+// Per-thread scratch for Backward. The containers keep their capacity
+// between calls, so a warm backward pass performs no scratch allocation.
 struct BackwardScratch {
   std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
   std::vector<std::pair<Node*, std::size_t>> stack;
 };
 
@@ -21,21 +17,29 @@ BackwardScratch& Scratch() {
   return scratch;
 }
 
+// Traversal epoch source. Each Backward call takes a globally unique epoch
+// and stamps it into Node::visit_mark as its visited test — a hash set over
+// a million-node tape was a measurable share of backward time. Shards share
+// only leaf nodes (params, constants), so a concurrent traversal clobbering
+// a shared leaf's mark at worst re-pushes that leaf; leaves have no
+// backward_fn, so a duplicate in `order` is a no-op.
+std::atomic<std::uint64_t> g_visit_epoch{0};
+
 // Iterative post-order DFS over parents; returns nodes so that every node
 // appears after all nodes that depend on it when iterated in reverse.
-void TopoSort(Node* root, BackwardScratch& s) {
+void TopoSort(Node* root, BackwardScratch& s, std::uint64_t epoch) {
   s.order.clear();
-  s.visited.clear();
   s.stack.clear();
   s.stack.emplace_back(root, 0);
-  s.visited.insert(root);
+  root->visit_mark.store(epoch, std::memory_order_relaxed);
   while (!s.stack.empty()) {
     auto& [node, next_child] = s.stack.back();
     if (next_child < node->parents.size()) {
       Node* child = node->parents[next_child].get();
       ++next_child;
-      if (child != nullptr && !s.visited.count(child)) {
-        s.visited.insert(child);
+      if (child != nullptr &&
+          child->visit_mark.load(std::memory_order_relaxed) != epoch) {
+        child->visit_mark.store(epoch, std::memory_order_relaxed);
         s.stack.emplace_back(child, 0);
       }
     } else {
@@ -75,15 +79,17 @@ GradSink::GradSink(const std::vector<Var>& params) {
   grads_.resize(params.size());
   for (const auto& p : params) {
     DIFFODE_CHECK(p.defined());
-    index_.emplace(p.node().get(), nodes_.size());
-    nodes_.push_back(p.node());
+    p.node()->sink_slot = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(p.node().get());
   }
 }
 
 bool GradSink::Accumulate(const Node* node, const Tensor& g) {
-  auto it = index_.find(node);
-  if (it == index_.end()) return false;
-  Tensor& buf = grads_[it->second];
+  const std::int32_t slot = node->sink_slot;
+  if (slot < 0 || static_cast<std::size_t>(slot) >= nodes_.size() ||
+      nodes_[static_cast<std::size_t>(slot)] != node)
+    return false;
+  Tensor& buf = grads_[static_cast<std::size_t>(slot)];
   if (buf.shape() != node->value.shape()) buf = Tensor(node->value.shape());
   buf += g;
   return true;
@@ -107,7 +113,7 @@ void GradSink::MergeFrom(const GradSink& other) {
 void GradSink::FlushToNodes() {
   for (std::size_t i = 0; i < grads_.size(); ++i) {
     if (grads_[i].empty()) continue;
-    Node* n = nodes_[i].get();
+    Node* n = nodes_[i];
     n->EnsureGrad();
     n->grad += grads_[i];
   }
@@ -128,7 +134,9 @@ void Var::Backward(const Tensor& seed) {
   DIFFODE_CHECK(node_ != nullptr);
   DIFFODE_CHECK(seed.shape() == node_->value.shape());
   BackwardScratch& s = Scratch();
-  TopoSort(node_.get(), s);
+  const std::uint64_t epoch =
+      g_visit_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  TopoSort(node_.get(), s, epoch);
   node_->AccumulateGrad(seed);
   // Post-order places dependencies first; walk from the root backwards.
   for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {

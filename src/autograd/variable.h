@@ -1,9 +1,10 @@
 #ifndef DIFFODE_AUTOGRAD_VARIABLE_H_
 #define DIFFODE_AUTOGRAD_VARIABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "autograd/arena.h"
@@ -26,6 +27,16 @@ struct Node {
   Tensor value;
   Tensor grad;  // allocated lazily, same shape as value
   bool requires_grad = false;
+  // Registration slot in the current GradSink generation, or -1. Written by
+  // GradSink construction (single-threaded, before shards fan out), read by
+  // Accumulate on pool threads. A stale slot from an earlier sink is
+  // harmless: Accumulate verifies nodes_[slot] == this before trusting it.
+  std::int32_t sink_slot = -1;
+  // Last traversal that visited this node (see TopoSort in variable.cc).
+  // Epochs are globally unique per Backward call, so a concurrent traversal
+  // writing its own epoch into a shared leaf can never alias this one's;
+  // relaxed atomics only rule out torn values.
+  std::atomic<std::uint64_t> visit_mark{0};
   ParentVec parents;
   // Scatters this node's gradient into its parents' gradients.
   std::function<void(Node&)> backward_fn;
@@ -86,9 +97,12 @@ class GradSink {
   };
 
  private:
-  std::vector<std::shared_ptr<Node>> nodes_;  // registration order
-  std::vector<Tensor> grads_;                 // lazily shaped, same order
-  std::unordered_map<const Node*, std::size_t> index_;
+  // Raw pointers: registered params are owned by the caller for the sink's
+  // whole lifetime (the trainer holds the Vars across the step). Lookup is
+  // by Node::sink_slot — one sink is built per shard per step, and a hash
+  // map per sink (plus a probe per accumulated gradient) was measurable.
+  std::vector<Node*> nodes_;   // registration order
+  std::vector<Tensor> grads_;  // lazily shaped, same order
 };
 
 // Allocates a tape node: from the calling thread's active TapeArena when a

@@ -7,6 +7,7 @@
 
 #include "data/encoding.h"
 #include "hippo/hippo.h"
+#include "tensor/kernels.h"
 
 namespace diffode::core {
 namespace {
@@ -366,9 +367,10 @@ std::vector<Tensor> DiffOde::AttentionTrajectory(
   Tensor z = ctx.z.value();
   for (Index i = 0; i < ctx.n; ++i) {
     Tensor logits = z.Row(i).MatMul(z.Transposed()) * scale;
-    // Softmax.
-    Scalar m = logits.Max();
-    Tensor p = logits.Map([m](Scalar x) { return std::exp(x - m); });
+    // Softmax: shift by the max, vectorized exp, normalize.
+    const Scalar m = logits.Max();
+    Tensor p = logits - m;
+    kernels::MapExp(p.numel(), p.data(), p.data());
     p *= 1.0 / p.Sum();
     rows.push_back(p);
   }

@@ -1,9 +1,11 @@
 #ifndef DIFFODE_NN_OPTIMIZER_H_
 #define DIFFODE_NN_OPTIMIZER_H_
 
+#include <cmath>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/kernels.h"
 
 namespace diffode::nn {
 
@@ -106,8 +108,9 @@ class Adam : public Optimizer {
       m_[i] = m_[i] * beta1_ + g * (1.0 - beta1_);
       v_[i] = v_[i] * beta2_ + (g * g) * (1.0 - beta2_);
       Tensor update = m_[i] / bc1;
-      Tensor denom =
-          (v_[i] / bc2).Map([this](Scalar x) { return std::sqrt(x) + eps_; });
+      Tensor denom = v_[i] / bc2;
+      kernels::Map(denom.numel(), denom.data(), denom.data(),
+                   [eps = eps_](Scalar x) { return std::sqrt(x) + eps; });
       p.mutable_value() -= update.CwiseQuotient(denom) * lr_;
     }
   }

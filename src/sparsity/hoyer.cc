@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/kernels.h"
+
 namespace diffode::sparsity {
 
 Scalar Hoyer(const Tensor& x) {
@@ -16,7 +18,10 @@ Scalar Hoyer(const Tensor& x) {
 }
 
 Scalar HoyerAbs(const Tensor& x) {
-  return Hoyer(x.Map([](Scalar v) { return std::fabs(v); }));
+  Tensor mags = Tensor::Uninit(x.shape());
+  kernels::Map(x.numel(), x.data(), mags.data(),
+               [](Scalar v) { return std::fabs(v); });
+  return Hoyer(mags);
 }
 
 Index EffectiveSupport(const Tensor& x, Scalar mass) {

@@ -1,9 +1,6 @@
 #include "tensor/buffer_pool.h"
 
-#include <atomic>
 #include <mutex>
-
-#include "core/alloc_stats.h"
 
 namespace diffode::tensor {
 namespace {
@@ -59,86 +56,31 @@ class Depot {
   BufferPoolFreeBlock* free_[kNumBuckets] = {};
 };
 
-std::atomic<bool> g_enabled{true};
-
-thread_local BufferPool* tls_active_pool = nullptr;
-
 }  // namespace
 
 BufferPool::BufferPool() = default;
 
 BufferPool::~BufferPool() { Flush(); }
 
-std::size_t BufferPool::BucketBytes(std::size_t bytes) noexcept {
-  std::size_t cap = std::size_t{1} << kMinShift;
-  while (cap < bytes) cap <<= 1;
-  return cap;
-}
-
-int BufferPool::BucketIndex(std::size_t bytes) noexcept {
-  int shift = kMinShift;
-  std::size_t cap = std::size_t{1} << kMinShift;
-  while (cap < bytes) {
-    cap <<= 1;
-    ++shift;
-  }
-  return shift - kMinShift;
-}
-
-void BufferPool::SetEnabled(bool enabled) {
-  g_enabled.store(enabled, std::memory_order_relaxed);
-}
-
-bool BufferPool::Enabled() {
-  return g_enabled.load(std::memory_order_relaxed);
-}
-
 BufferPool& BufferPool::ThreadLocal() {
   static thread_local BufferPool pool;
   return pool;
 }
 
-bool BufferPool::ScopeActive() { return tls_active_pool != nullptr; }
+bool BufferPool::ScopeActive() { return tls_active_ != nullptr; }
 
-BufferPool::Scope::Scope() : prev_(tls_active_pool) {
-  tls_active_pool = &BufferPool::ThreadLocal();
+BufferPool::Scope::Scope() : prev_(tls_active_) {
+  tls_active_ = &BufferPool::ThreadLocal();
 }
 
 BufferPool::Scope::~Scope() {
-  if (prev_ == nullptr) tls_active_pool->Flush();
-  tls_active_pool = prev_;
+  // The cache deliberately survives scope exit: the trainer opens a scope
+  // per step, and the next step wants the same warm blocks without a depot
+  // round trip. ~BufferPool (thread teardown) flushes to the depot.
+  tls_active_ = prev_;
 }
 
-void* BufferPool::Allocate(std::size_t bytes) {
-  // Always carve out the full bucket so any block — pooled or bypass — can
-  // later be recycled under the same bucket.
-  const std::size_t cap = BucketBytes(bytes);
-  BufferPool* pool = tls_active_pool;
-  if (pool == nullptr || !Enabled() || bytes > (std::size_t{1} << kMaxShift)) {
-    AllocStats::RecordPoolBypass();
-    return ::operator new(cap);
-  }
-  return pool->AllocateImpl(BucketIndex(bytes));
-}
-
-void BufferPool::Deallocate(void* p, std::size_t bytes) noexcept {
-  if (p == nullptr) return;
-  BufferPool* pool = tls_active_pool;
-  if (pool == nullptr || !Enabled() || bytes > (std::size_t{1} << kMaxShift)) {
-    ::operator delete(p);
-    return;
-  }
-  pool->DeallocateImpl(p, BucketIndex(bytes));
-}
-
-void* BufferPool::AllocateImpl(int bucket) {
-  FreeBlock* head = free_[bucket];
-  if (head != nullptr) {
-    free_[bucket] = head->next;
-    --count_[bucket];
-    AllocStats::RecordPoolHit();
-    return head;
-  }
+void* BufferPool::AllocateSlow(int bucket) {
   // Refill from the depot in a batch.
   void* chain = nullptr;
   int got = Depot::Get().Grab(bucket, kBatch, &chain);
@@ -154,20 +96,14 @@ void* BufferPool::AllocateImpl(int bucket) {
   return ::operator new(std::size_t{1} << (bucket + kMinShift));
 }
 
-void BufferPool::DeallocateImpl(void* p, int bucket) noexcept {
-  auto* block = static_cast<FreeBlock*>(p);
-  block->next = free_[bucket];
-  free_[bucket] = block;
-  ++count_[bucket];
-  if (count_[bucket] >= kCacheCap) {
-    // Spill a batch (from the head) back to the depot.
-    FreeBlock* head = free_[bucket];
-    FreeBlock* tail = head;
-    for (int i = 1; i < kBatch; ++i) tail = tail->next;
-    free_[bucket] = tail->next;
-    count_[bucket] -= kBatch;
-    Depot::Get().Put(bucket, head, tail);
-  }
+void BufferPool::SpillToDepot(int bucket) noexcept {
+  // Spill a batch (from the head) back to the depot.
+  FreeBlock* head = free_[bucket];
+  FreeBlock* tail = head;
+  for (int i = 1; i < kBatch; ++i) tail = tail->next;
+  free_[bucket] = tail->next;
+  count_[bucket] -= kBatch;
+  Depot::Get().Put(bucket, head, tail);
 }
 
 void BufferPool::Flush() noexcept {

@@ -1,10 +1,14 @@
 #ifndef DIFFODE_TENSOR_BUFFER_POOL_H_
 #define DIFFODE_TENSOR_BUFFER_POOL_H_
 
+#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <new>
 #include <type_traits>
+
+#include "core/alloc_stats.h"
 
 namespace diffode::tensor {
 
@@ -21,8 +25,10 @@ namespace diffode::tensor {
 // active on the current thread. Outside a scope every allocation takes the
 // heap directly (recorded as a bypass) — but is STILL rounded to its bucket
 // size, so a bypass block later freed inside a scope can be recycled safely.
-// Scopes are re-entrant; the thread cache flushes to the depot only when the
-// outermost scope exits.
+// Scopes are re-entrant. The thread cache persists across scopes (the
+// trainer opens a scope per step; tearing the cache down each time costs a
+// depot round trip per cached block per step) and flushes to the depot only
+// when the thread's pool is destroyed, or explicitly via Flush().
 //
 // Determinism: the pool changes where bytes live, never what is computed.
 // Recycled buffers are handed out uninitialized; Tensor zero-fills (or the
@@ -37,18 +43,56 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Allocates at least `bytes` (rounded to the bucket size). Never returns
-  // nullptr (throws std::bad_alloc on exhaustion, like operator new).
-  static void* Allocate(std::size_t bytes);
+  // nullptr (throws std::bad_alloc on exhaustion, like operator new). The
+  // steady-state path — cache hit on the calling thread's free list — is
+  // inline: at millions of small-tensor allocations per epoch the call
+  // overhead of an out-of-line hot path is itself measurable.
+  static void* Allocate(std::size_t bytes) {
+    BufferPool* pool = tls_active_;
+    if (pool == nullptr || !Enabled() ||
+        bytes > (std::size_t{1} << kMaxShift)) {
+      core::AllocStats::RecordPoolBypass();
+      return ::operator new(BucketBytes(bytes));
+    }
+    const int bucket = BucketIndex(bytes);
+    FreeBlock* head = pool->free_[bucket];
+    if (head != nullptr) {
+      pool->free_[bucket] = head->next;
+      --pool->count_[bucket];
+      core::AllocStats::RecordPoolHit();
+      return head;
+    }
+    return pool->AllocateSlow(bucket);
+  }
+
   // Returns a block obtained from Allocate with the same `bytes`.
-  static void Deallocate(void* p, std::size_t bytes) noexcept;
+  static void Deallocate(void* p, std::size_t bytes) noexcept {
+    if (p == nullptr) return;
+    BufferPool* pool = tls_active_;
+    if (pool == nullptr || !Enabled() ||
+        bytes > (std::size_t{1} << kMaxShift)) {
+      ::operator delete(p);
+      return;
+    }
+    const int bucket = BucketIndex(bytes);
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = pool->free_[bucket];
+    pool->free_[bucket] = block;
+    if (++pool->count_[bucket] >= CacheCapFor(bucket))
+      pool->SpillToDepot(bucket);
+  }
 
   // Rounded bucket capacity for a request (what Allocate really hands out).
-  static std::size_t BucketBytes(std::size_t bytes) noexcept;
+  static std::size_t BucketBytes(std::size_t bytes) noexcept {
+    return std::size_t{1} << (BucketIndex(bytes) + kMinShift);
+  }
 
   // Master switch for A/B equivalence tests: when disabled, Allocate/
   // Deallocate degrade to plain heap calls (still bucket-rounded).
-  static void SetEnabled(bool enabled);
-  static bool Enabled();
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
 
   // The calling thread's pool (created on first use).
   static BufferPool& ThreadLocal();
@@ -69,7 +113,7 @@ class BufferPool {
   };
 
   // Returns every cached block on this thread to the depot (normally
-  // automatic on outermost Scope exit).
+  // automatic only when the thread's pool is destroyed).
   void Flush() noexcept;
 
  private:
@@ -84,14 +128,36 @@ class BufferPool {
   static constexpr int kMinShift = 6;
   static constexpr int kMaxShift = 26;  // 64 MiB
   static constexpr int kNumBuckets = kMaxShift - kMinShift + 1;
-  // Batch size for depot refills / spills, and per-thread cache cap.
+  // Batch size for depot refills / spills.
   static constexpr int kBatch = 16;
-  static constexpr int kCacheCap = 64;
 
-  static int BucketIndex(std::size_t bytes) noexcept;
+  // Per-bucket cache cap: bounds the BYTES a thread may cache per bucket
+  // (~4 MiB) rather than a flat block count, so the small buckets can hold
+  // the thousands of short-lived tensors a training step cycles through
+  // (a flat cap of 64 sent them to the mutex-protected depot and back
+  // ~150k times per bench run) while multi-MiB buckets keep only a few
+  // blocks. The floor of 2*kBatch keeps a spill from draining the cache
+  // below one refill batch.
+  static constexpr int CacheCapFor(int bucket) noexcept {
+    const std::size_t blocks = (std::size_t{4} << 20) >> (bucket + kMinShift);
+    if (blocks < static_cast<std::size_t>(2 * kBatch)) return 2 * kBatch;
+    if (blocks > 4096) return 4096;
+    return static_cast<int>(blocks);
+  }
 
-  void* AllocateImpl(int bucket);
-  void DeallocateImpl(void* p, int bucket) noexcept;
+  // Bucket index whose capacity 2^(index + kMinShift) covers `bytes`.
+  static int BucketIndex(std::size_t bytes) noexcept {
+    if (bytes <= (std::size_t{1} << kMinShift)) return 0;
+    return std::bit_width(bytes - 1) - kMinShift;
+  }
+
+  // Out-of-line tails of the inline fast paths: depot refill / heap
+  // fallback, and the batched spill when a thread cache overflows.
+  void* AllocateSlow(int bucket);
+  void SpillToDepot(int bucket) noexcept;
+
+  inline static std::atomic<bool> enabled_{true};
+  inline static thread_local BufferPool* tls_active_ = nullptr;
 
   FreeBlock* free_[kNumBuckets] = {};
   int count_[kNumBuckets] = {};

@@ -1,14 +1,19 @@
+// Kernel dispatch and parallel orchestration. This TU owns every decision
+// about threading: the fixed row-panel grid for GEMMs, the fixed elementwise
+// chunk grid, and the fixed reduction partial grid with chunk-ordered
+// combination. The arithmetic itself lives in the per-ISA backends
+// (kernels_scalar.cc / kernels_avx2.cc), reached through a KernelTable
+// selected from simd::ActiveIsa(). Because the grids here never depend on
+// the thread count and backend bodies never depend on partition bounds,
+// output is bitwise reproducible at any pool size within a given ISA.
+
 #include "tensor/kernels.h"
 
-#include <algorithm>
+#include "tensor/kernels_isa.h"
+#include "tensor/simd.h"
 
 namespace diffode::kernels {
 namespace {
-
-// Cache tile edge for the GEMM family: a 64x64 double tile is 32 KiB, so an
-// A-panel tile plus the B tile stay resident in L1/L2 while a row panel of C
-// streams through.
-constexpr Index kTile = 64;
 
 // Multiply count below which a GEMM is not worth fanning out.
 constexpr Index kGemmParallelFlops = 1 << 15;
@@ -17,121 +22,13 @@ constexpr Index kGemmParallelFlops = 1 << 15;
 // partition — and therefore every output bit — never depends on the pool.
 constexpr Index kGemmRowGrain = 32;
 
-// Reduction partial grid (see Sum/Dot).
-constexpr Index kReduceGrain = 4096;
-
-// One row panel [i0, i1) of C = A * B. For each (k-tile, j-tile) the inner
-// kernel advances four rows of C at once, so every loaded b value feeds four
-// multiply-adds. Accumulation into a given c[i][j] happens in strictly
-// increasing p order regardless of tiling, which keeps results identical for
-// any row partition.
-void GemmPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
-               const Scalar* b, Scalar* c) {
-  std::fill(c + i0 * n, c + i1 * n, 0.0);
-  for (Index p0 = 0; p0 < k; p0 += kTile) {
-    const Index p1 = std::min(k, p0 + kTile);
-    for (Index j0 = 0; j0 < n; j0 += kTile) {
-      const Index j1 = std::min(n, j0 + kTile);
-      Index i = i0;
-      for (; i + 4 <= i1; i += 4) {
-        Scalar* c0 = c + (i + 0) * n;
-        Scalar* c1 = c + (i + 1) * n;
-        Scalar* c2 = c + (i + 2) * n;
-        Scalar* c3 = c + (i + 3) * n;
-        for (Index p = p0; p < p1; ++p) {
-          const Scalar a0 = a[(i + 0) * k + p];
-          const Scalar a1 = a[(i + 1) * k + p];
-          const Scalar a2 = a[(i + 2) * k + p];
-          const Scalar a3 = a[(i + 3) * k + p];
-          const Scalar* bp = b + p * n;
-          for (Index j = j0; j < j1; ++j) {
-            const Scalar bj = bp[j];
-            c0[j] += a0 * bj;
-            c1[j] += a1 * bj;
-            c2[j] += a2 * bj;
-            c3[j] += a3 * bj;
-          }
-        }
-      }
-      for (; i < i1; ++i) {
-        Scalar* ci = c + i * n;
-        for (Index p = p0; p < p1; ++p) {
-          const Scalar aip = a[i * k + p];
-          const Scalar* bp = b + p * n;
-          for (Index j = j0; j < j1; ++j) ci[j] += aip * bp[j];
-        }
-      }
-    }
-  }
-}
-
-// One row panel of C = A^T * B with A stored (k x m): identical structure to
-// GemmPanel but A is read down its columns (stride m).
-void GemmTNPanel(Index i0, Index i1, Index m, Index k, Index n,
-                 const Scalar* a, const Scalar* b, Scalar* c) {
-  std::fill(c + i0 * n, c + i1 * n, 0.0);
-  for (Index p0 = 0; p0 < k; p0 += kTile) {
-    const Index p1 = std::min(k, p0 + kTile);
-    for (Index j0 = 0; j0 < n; j0 += kTile) {
-      const Index j1 = std::min(n, j0 + kTile);
-      Index i = i0;
-      for (; i + 4 <= i1; i += 4) {
-        Scalar* c0 = c + (i + 0) * n;
-        Scalar* c1 = c + (i + 1) * n;
-        Scalar* c2 = c + (i + 2) * n;
-        Scalar* c3 = c + (i + 3) * n;
-        for (Index p = p0; p < p1; ++p) {
-          const Scalar* ap = a + p * m + i;
-          const Scalar a0 = ap[0];
-          const Scalar a1 = ap[1];
-          const Scalar a2 = ap[2];
-          const Scalar a3 = ap[3];
-          const Scalar* bp = b + p * n;
-          for (Index j = j0; j < j1; ++j) {
-            const Scalar bj = bp[j];
-            c0[j] += a0 * bj;
-            c1[j] += a1 * bj;
-            c2[j] += a2 * bj;
-            c3[j] += a3 * bj;
-          }
-        }
-      }
-      for (; i < i1; ++i) {
-        Scalar* ci = c + i * n;
-        for (Index p = p0; p < p1; ++p) {
-          const Scalar aip = a[p * m + i];
-          const Scalar* bp = b + p * n;
-          for (Index j = j0; j < j1; ++j) ci[j] += aip * bp[j];
-        }
-      }
-    }
-  }
-}
-
-// One row panel of C = A * B^T with B stored (n x k): each output is a dot
-// product of two contiguous rows, unrolled into four partial accumulators.
-// The combine order of the partials is fixed by the code, so results are
-// reproducible (though deliberately not identical to a 1-accumulator loop).
-void GemmNTPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
-                 const Scalar* b, Scalar* c) {
-  for (Index i = i0; i < i1; ++i) {
-    const Scalar* ai = a + i * k;
-    Scalar* ci = c + i * n;
-    for (Index j = 0; j < n; ++j) {
-      const Scalar* bj = b + j * k;
-      Scalar s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      Index p = 0;
-      for (; p + 4 <= k; p += 4) {
-        s0 += ai[p + 0] * bj[p + 0];
-        s1 += ai[p + 1] * bj[p + 1];
-        s2 += ai[p + 2] * bj[p + 2];
-        s3 += ai[p + 3] * bj[p + 3];
-      }
-      Scalar s = (s0 + s1) + (s2 + s3);
-      for (; p < k; ++p) s += ai[p] * bj[p];
-      ci[j] = s;
-    }
-  }
+// Backend for the current ISA. Looked up once per kernel entry so one call
+// never mixes backends even if a test flips SetActiveIsa concurrently.
+const detail::KernelTable* Table() {
+#if DIFFODE_HAS_AVX2_BUILD
+  if (simd::ActiveIsa() == simd::Isa::kAvx2) return &detail::Avx2Table();
+#endif
+  return &detail::ScalarTable();
 }
 
 // Row-parallel driver shared by the GEMM variants.
@@ -144,84 +41,104 @@ void RunRowPanels(Index m, Index k, Index n, Panel panel) {
   }
 }
 
+using MapRangeFn = void (*)(Index, const Scalar*, Scalar*);
+
+void RunMap(MapRangeFn range, Index n, const Scalar* x, Scalar* out) {
+  if (n >= kElementwiseGrain) {
+    parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
+      range(e - b, x + b, out + b);
+    });
+    return;
+  }
+  range(n, x, out);
+}
+
 }  // namespace
 
 void Gemm(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
           Scalar* c) {
+  const detail::KernelTable* t = Table();
   RunRowPanels(m, k, n, [=](Index i0, Index i1) {
-    GemmPanel(i0, i1, k, n, a, b, c);
+    t->gemm_panel(i0, i1, k, n, a, b, c);
   });
 }
 
 void GemmTN(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
             Scalar* c) {
+  const detail::KernelTable* t = Table();
   RunRowPanels(m, k, n, [=](Index i0, Index i1) {
-    GemmTNPanel(i0, i1, m, k, n, a, b, c);
+    t->gemm_tn_panel(i0, i1, m, k, n, a, b, c);
   });
 }
 
 void GemmNT(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
             Scalar* c) {
+  const detail::KernelTable* t = Table();
   RunRowPanels(m, k, n, [=](Index i0, Index i1) {
-    GemmNTPanel(i0, i1, k, n, a, b, c);
+    t->gemm_nt_panel(i0, i1, k, n, a, b, c);
   });
 }
 
 void Axpy(Index n, Scalar alpha, const Scalar* x, Scalar* y) {
+  const detail::KernelTable* t = Table();
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
-      for (Index i = b; i < e; ++i) y[i] += alpha * x[i];
+      t->axpy(e - b, alpha, x + b, y + b);
     });
     return;
   }
-  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+  t->axpy(n, alpha, x, y);
 }
 
 void AddScaled(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
                Scalar* out) {
+  const detail::KernelTable* t = Table();
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
-      for (Index i = b; i < e; ++i) out[i] = x[i] + alpha * y[i];
+      t->add_scaled(e - b, x + b, alpha, y + b, out + b);
     });
     return;
   }
-  for (Index i = 0; i < n; ++i) out[i] = x[i] + alpha * y[i];
+  t->add_scaled(n, x, alpha, y, out);
 }
 
 void Scale(Index n, Scalar alpha, Scalar* x) {
+  const detail::KernelTable* t = Table();
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
-      for (Index i = b; i < e; ++i) x[i] *= alpha;
+      t->scale(e - b, alpha, x + b);
     });
     return;
   }
-  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+  t->scale(n, alpha, x);
 }
 
 Scalar Sum(Index n, const Scalar* x) {
-  if (n < kReduceGrain) {
-    Scalar s = 0.0;
-    for (Index i = 0; i < n; ++i) s += x[i];
-    return s;
-  }
-  return parallel::ReduceSum(0, n, kReduceGrain, [=](Index b, Index e) {
-    Scalar s = 0.0;
-    for (Index i = b; i < e; ++i) s += x[i];
-    return s;
+  const detail::KernelTable* t = Table();
+  if (n < kReductionGrain) return t->sum(n, x);
+  return parallel::ReduceSum(0, n, kReductionGrain, [=](Index b, Index e) {
+    return t->sum(e - b, x + b);
   });
 }
 
 Scalar Dot(Index n, const Scalar* x, const Scalar* y) {
-  if (n < kReduceGrain) {
-    Scalar s = 0.0;
-    for (Index i = 0; i < n; ++i) s += x[i] * y[i];
-    return s;
-  }
-  return parallel::ReduceSum(0, n, kReduceGrain, [=](Index b, Index e) {
-    Scalar s = 0.0;
-    for (Index i = b; i < e; ++i) s += x[i] * y[i];
-    return s;
+  const detail::KernelTable* t = Table();
+  if (n < kReductionGrain) return t->dot(n, x, y);
+  return parallel::ReduceSum(0, n, kReductionGrain, [=](Index b, Index e) {
+    return t->dot(e - b, x + b, y + b);
   });
+}
+
+void MapTanh(Index n, const Scalar* x, Scalar* out) {
+  RunMap(Table()->tanh, n, x, out);
+}
+
+void MapSigmoid(Index n, const Scalar* x, Scalar* out) {
+  RunMap(Table()->sigmoid, n, x, out);
+}
+
+void MapExp(Index n, const Scalar* x, Scalar* out) {
+  RunMap(Table()->exp, n, x, out);
 }
 
 }  // namespace diffode::kernels

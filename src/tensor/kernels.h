@@ -1,6 +1,9 @@
 #ifndef DIFFODE_TENSOR_KERNELS_H_
 #define DIFFODE_TENSOR_KERNELS_H_
 
+#include <cmath>
+#include <type_traits>
+
 #include "core/parallel.h"
 #include "tensor/shape.h"
 
@@ -8,17 +11,39 @@ namespace diffode::kernels {
 
 // Named computational kernels behind Tensor and the autograd ops. All heavy
 // loops in the repository funnel through these so that cache blocking,
-// unrolling, and threading live in exactly one place. Raw-pointer interfaces
-// keep them usable from both Tensor methods and backward closures without
-// materializing intermediate tensors (notably: no explicit transposes).
+// unrolling, threading, and SIMD live in exactly one place. Raw-pointer
+// interfaces keep them usable from both Tensor methods and backward closures
+// without materializing intermediate tensors (notably: no explicit
+// transposes).
 //
-// Determinism contract: for a fixed input, every kernel produces bitwise
-// identical output at any thread count. Parallel kernels partition work by
-// fixed chunk grids (see parallel::ParallelFor) with disjoint writes, and
-// reductions combine fixed-grid partials in chunk order.
+// ISA dispatch: every kernel routes through one of two backends — portable
+// scalar C++ (kernels_scalar.cc) or AVX2+FMA microkernels
+// (kernels_avx2.cc) — selected once at startup by CPUID feature detection,
+// overridable with DIFFODE_KERNEL_ISA=scalar|avx2 (see tensor/simd.h).
+//
+// Determinism contract (per ISA): for a fixed input and a fixed ISA, every
+// kernel produces bitwise identical output at any thread count. Parallel
+// kernels partition work by fixed chunk grids (see parallel::ParallelFor)
+// with disjoint writes, and reductions combine fixed-grid partials in chunk
+// order. Switching ISA may move results by rounding-level amounts (FMA,
+// SIMD-lane accumulation); the equivalence between backends is ulp-level,
+// not bitwise, and is pinned by tests/kernels_isa_test.cc.
 
-// Elementwise work below this many elements stays on the calling thread.
+// Elementwise work (maps, zips, vector ops) below this many elements stays
+// on the calling thread. Purely a parallelization threshold: elementwise
+// results are per-element functions of the input, so this value affects
+// speed, never bits, and may be retuned freely.
 inline constexpr Index kElementwiseGrain = 16384;
+
+// Reductions get their own, smaller grain: a reduction chunk does far more
+// work per output byte than a map chunk, so it pays to fan out earlier.
+// Unlike kElementwiseGrain this is NOT a tuning knob — it is the fixed
+// partial grid of the determinism contract. Sum/Dot evaluate one partial
+// per 4096-element chunk and combine the partials in chunk order; changing
+// the grid changes the combination tree and therefore the bit pattern of
+// every reduction result, silently invalidating any stored golden values.
+// It must stay 4096.
+inline constexpr Index kReductionGrain = 4096;
 
 // C (m x n) = A (m x k) * B (k x n). All row-major, C is overwritten.
 void Gemm(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
@@ -44,22 +69,53 @@ void AddScaled(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
 // x *= alpha.
 void Scale(Index n, Scalar alpha, Scalar* x);
 
-// Deterministic blocked reductions (fixed 4096-element partial grid).
+// Deterministic blocked reductions (fixed kReductionGrain partial grid).
 Scalar Sum(Index n, const Scalar* x);
 Scalar Dot(Index n, const Scalar* x, const Scalar* y);
 
+// ISA-dispatched transcendental maps (out may alias x). These are the hot
+// functions of the GRU encoder, MLP heads, and softmax/Hoyer pipeline; the
+// AVX2 backend evaluates them 4 lanes at a time.
+void MapTanh(Index n, const Scalar* x, Scalar* out);
+void MapSigmoid(Index n, const Scalar* x, Scalar* out);
+void MapExp(Index n, const Scalar* x, Scalar* out);
+
+namespace ops {
+
+// Named elementwise functors. kernels::Map recognizes these types at
+// compile time and routes them to the ISA-dispatched vector maps above;
+// arbitrary functors/lambdas take the generic inlined scalar loop. Call
+// sites simply write kernels::Map(n, x, out, ops::Tanh{}).
+struct Tanh {
+  Scalar operator()(Scalar x) const { return std::tanh(x); }
+};
+struct Sigmoid {
+  Scalar operator()(Scalar x) const { return 1.0 / (1.0 + std::exp(-x)); }
+};
+struct Exp {
+  Scalar operator()(Scalar x) const { return std::exp(x); }
+};
+
+}  // namespace ops
+
 // out[i] = fn(x[i]). Templated functor dispatch: the loop body inlines the
 // functor, unlike Tensor::Map's std::function-per-element indirection.
-// out may alias x.
+// The ops:: functor types divert to the vectorized maps. out may alias x.
 template <typename F>
 void Map(Index n, const Scalar* x, Scalar* out, F fn) {
-  if (n >= kElementwiseGrain) {
+  if constexpr (std::is_same_v<F, ops::Tanh>) {
+    MapTanh(n, x, out);
+  } else if constexpr (std::is_same_v<F, ops::Sigmoid>) {
+    MapSigmoid(n, x, out);
+  } else if constexpr (std::is_same_v<F, ops::Exp>) {
+    MapExp(n, x, out);
+  } else if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [&](Index b, Index e) {
       for (Index i = b; i < e; ++i) out[i] = fn(x[i]);
     });
-    return;
+  } else {
+    for (Index i = 0; i < n; ++i) out[i] = fn(x[i]);
   }
-  for (Index i = 0; i < n; ++i) out[i] = fn(x[i]);
 }
 
 // out[i] = fn(x[i], y[i]). out may alias either input.

@@ -1,0 +1,424 @@
+// AVX2+FMA backend for the kernel layer. This translation unit is the only
+// one compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt); everything
+// else in the tree stays portable and the scalar backend in
+// kernels_scalar.cc is the guaranteed fallback.
+//
+// Determinism: the panel/range functions here obey the contract documented
+// in kernels_isa.h — each output element is computed by a fixed sequence of
+// operations that depends only on its indices and the problem shape, never
+// on panel bounds or thread count. Register-block sizes (8/4/2/1 rows) give
+// every row its own accumulator registers, and SIMD lanes partition the
+// reduction axis by residue class, so regrouping rows or splitting ranges
+// never changes what is computed for a given element.
+
+#include "tensor/kernels_isa.h"
+
+#if DIFFODE_HAS_AVX2_BUILD
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace diffode::kernels::detail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+// Fixed horizontal sum: lanes combined as (l0+l2) + (l1+l3).
+inline double HSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+// Load/store mask covering the first `t` (1..3) lanes of a tail.
+inline __m256i TailMask(Index t) {
+  alignas(32) static const std::int64_t kMask[8] = {-1, -1, -1, -1,
+                                                    0,  0,  0,  0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMask + 4 - static_cast<int>(t)));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: C = A * B. Register-blocked 8x4 microkernel (8 row accumulators ×
+// one 4-wide vector of C columns, held in ymm registers across the whole k
+// loop), with 4/2/1-row variants for the row tail and a scalar column tail.
+// A is read by broadcast (contiguous per row), B by 4-wide row vectors, so
+// the N variant needs no packing.
+
+template <int MR>
+inline void MicroN(Index k, const double* a, Index lda, const double* b,
+                   Index ldb, double* c, Index ldc) {
+  __m256d acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm256_setzero_pd();
+  for (Index p = 0; p < k; ++p) {
+    const __m256d bv = _mm256_loadu_pd(b + p * ldb);
+    for (int r = 0; r < MR; ++r)
+      acc[r] =
+          _mm256_fmadd_pd(_mm256_broadcast_sd(a + r * lda + p), bv, acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) _mm256_storeu_pd(c + r * ldc, acc[r]);
+}
+
+template <int MR>
+inline void RowBlockN(Index i, Index k, Index n, Index n4, const double* a,
+                      const double* b, double* c) {
+  for (Index j = 0; j < n4; j += 4)
+    MicroN<MR>(k, a + i * k, k, b + j, n, c + i * n + j, n);
+  for (Index j = n4; j < n; ++j) {
+    for (int r = 0; r < MR; ++r) {
+      const double* ar = a + (i + r) * k;
+      double s = 0.0;
+      for (Index p = 0; p < k; ++p) s += ar[p] * b[p * n + j];
+      c[(i + r) * n + j] = s;
+    }
+  }
+}
+
+void GemmPanelAvx2(Index i0, Index i1, Index k, Index n, const double* a,
+                   const double* b, double* c) {
+  const Index n4 = n & ~Index{3};
+  Index i = i0;
+  for (; i + 8 <= i1; i += 8) RowBlockN<8>(i, k, n, n4, a, b, c);
+  if (i1 - i >= 4) {
+    RowBlockN<4>(i, k, n, n4, a, b, c);
+    i += 4;
+  }
+  if (i1 - i >= 2) {
+    RowBlockN<2>(i, k, n, n4, a, b, c);
+    i += 2;
+  }
+  if (i1 - i >= 1) RowBlockN<1>(i, k, n, n4, a, b, c);
+}
+
+// ---------------------------------------------------------------------------
+// GemmTN: C = A^T * B with A stored (k x m). Reading A down a column touches
+// a new cache line every step, so each row block packs its A panel into a
+// contiguous (kc x MR) buffer once and reuses it across all n/4 microkernel
+// invocations. k is blocked at kKc to bound the pack buffer; C accumulates
+// across k-blocks in increasing p order, which keeps per-element arithmetic
+// independent of the blocking. The first k-block starts its accumulators at
+// zero instead of loading C (same arithmetic: (0 + block0) + block1 + ...),
+// so the common k <= kKc case touches C exactly once — no zero-fill pass,
+// no reload. Backward weight gradients call this with tiny k, where those
+// extra C passes used to dominate.
+
+constexpr Index kKc = 256;
+
+template <int MR>
+inline void MicroPackedA(bool first, Index pc, const double* ap,
+                         const double* b, Index ldb, double* c, Index ldc) {
+  __m256d acc[MR];
+  if (first) {
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_setzero_pd();
+  } else {
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_loadu_pd(c + r * ldc);
+  }
+  for (Index p = 0; p < pc; ++p) {
+    const __m256d bv = _mm256_loadu_pd(b + p * ldb);
+    for (int r = 0; r < MR; ++r)
+      acc[r] = _mm256_fmadd_pd(_mm256_broadcast_sd(ap + p * MR + r), bv,
+                               acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) _mm256_storeu_pd(c + r * ldc, acc[r]);
+}
+
+template <int MR>
+inline void RowBlockTN(bool first, Index i, Index m, Index n, Index n4,
+                       Index p0, Index pc, const double* a, const double* b,
+                       double* c, double* apack) {
+  for (Index p = 0; p < pc; ++p) {
+    const double* src = a + (p0 + p) * m + i;
+    for (int r = 0; r < MR; ++r) apack[p * MR + r] = src[r];
+  }
+  for (Index j = 0; j < n4; j += 4)
+    MicroPackedA<MR>(first, pc, apack, b + p0 * n + j, n, c + i * n + j, n);
+  for (Index j = n4; j < n; ++j) {
+    for (int r = 0; r < MR; ++r) {
+      double s = first ? 0.0 : c[(i + r) * n + j];
+      for (Index p = 0; p < pc; ++p)
+        s += apack[p * MR + r] * b[(p0 + p) * n + j];
+      c[(i + r) * n + j] = s;
+    }
+  }
+}
+
+void GemmTNPanelAvx2(Index i0, Index i1, Index m, Index k, Index n,
+                     const double* a, const double* b, double* c) {
+  if (k == 0) {
+    std::fill(c + i0 * n, c + i1 * n, 0.0);
+    return;
+  }
+  const Index n4 = n & ~Index{3};
+  alignas(32) double apack[kKc * 8];
+  for (Index p0 = 0; p0 < k; p0 += kKc) {
+    const bool first = p0 == 0;
+    const Index pc = std::min(k - p0, kKc);
+    Index i = i0;
+    for (; i + 8 <= i1; i += 8)
+      RowBlockTN<8>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+    if (i1 - i >= 4) {
+      RowBlockTN<4>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+      i += 4;
+    }
+    if (i1 - i >= 2) {
+      RowBlockTN<2>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+      i += 2;
+    }
+    if (i1 - i >= 1)
+      RowBlockTN<1>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GemmNT: C = A * B^T with B stored (n x k). Both operands are contiguous
+// along k, so instead of packing, the microkernel vectorizes the reduction
+// axis itself: each output element owns one 4-lane accumulator (lane l sums
+// the p ≡ l terms) finished by the fixed HSum plus a scalar k-tail. A 2x4
+// element block shares the a/b row loads; the arithmetic per element is that
+// of VecDot regardless of the blocking, so row pairing never changes bits.
+
+inline double VecDot(Index k, const double* x, const double* y) {
+  const Index k4 = k & ~Index{3};
+  __m256d acc = _mm256_setzero_pd();
+  for (Index p = 0; p < k4; p += 4)
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(x + p), _mm256_loadu_pd(y + p), acc);
+  double s = HSum(acc);
+  for (Index p = k4; p < k; ++p) s += x[p] * y[p];
+  return s;
+}
+
+template <int MR>
+inline void NTBlock4(Index i, Index j, Index k, Index n, const double* a,
+                     const double* b, double* c) {
+  const Index k4 = k & ~Index{3};
+  __m256d acc[MR][4];
+  for (int r = 0; r < MR; ++r)
+    for (int jj = 0; jj < 4; ++jj) acc[r][jj] = _mm256_setzero_pd();
+  for (Index p = 0; p < k4; p += 4) {
+    __m256d av[MR];
+    for (int r = 0; r < MR; ++r) av[r] = _mm256_loadu_pd(a + (i + r) * k + p);
+    for (int jj = 0; jj < 4; ++jj) {
+      const __m256d bv = _mm256_loadu_pd(b + (j + jj) * k + p);
+      for (int r = 0; r < MR; ++r)
+        acc[r][jj] = _mm256_fmadd_pd(av[r], bv, acc[r][jj]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int jj = 0; jj < 4; ++jj) {
+      double s = HSum(acc[r][jj]);
+      const double* ar = a + (i + r) * k;
+      const double* bj = b + (j + jj) * k;
+      for (Index p = k4; p < k; ++p) s += ar[p] * bj[p];
+      c[(i + r) * n + j + jj] = s;
+    }
+  }
+}
+
+void GemmNTPanelAvx2(Index i0, Index i1, Index k, Index n, const double* a,
+                     const double* b, double* c) {
+  const Index n4 = n & ~Index{3};
+  Index i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    for (Index j = 0; j < n4; j += 4) NTBlock4<2>(i, j, k, n, a, b, c);
+    for (Index j = n4; j < n; ++j) {
+      c[i * n + j] = VecDot(k, a + i * k, b + j * k);
+      c[(i + 1) * n + j] = VecDot(k, a + (i + 1) * k, b + j * k);
+    }
+  }
+  if (i < i1) {
+    for (Index j = 0; j < n4; j += 4) NTBlock4<1>(i, j, k, n, a, b, c);
+    for (Index j = n4; j < n; ++j)
+      c[i * n + j] = VecDot(k, a + i * k, b + j * k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contiguous-range vector ops.
+
+void AxpyRangeAvx2(Index n, double alpha, const double* x, double* y) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AddScaledRangeAvx2(Index n, const double* x, double alpha,
+                        const double* y, double* out) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(
+        out + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(y + i),
+                                 _mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) out[i] = x[i] + alpha * y[i];
+}
+
+void ScaleRangeAvx2(Index n, double alpha, double* x) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  Index i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+// Reduction partials over one fixed-grid chunk: two 4-lane accumulator
+// chains (lane = p mod 4 within each chain), combined in a fixed order, then
+// the scalar tail in element order. The chunk grid itself lives in
+// kernels.cc; this only fixes the intra-chunk association.
+
+double SumRangeAvx2(Index n, const double* x) {
+  const Index n8 = n & ~Index{7};
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  Index i = 0;
+  for (; i < n8; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(x + i + 4));
+  }
+  double s = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+double DotRangeAvx2(Index n, const double* x, const double* y) {
+  const Index n8 = n & ~Index{7};
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  Index i = 0;
+  for (; i < n8; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                           _mm256_loadu_pd(y + i + 4), acc1);
+  }
+  double s = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Vector transcendentals. ExpPd is a Cephes-style exp: round-to-nearest
+// argument reduction against a two-part ln2, a rational approximation of
+// exp(r) on |r| <= ln2/2 (~1 ulp), and reconstruction by two half-exponent
+// scalings so borderline arguments (|x| near 709) neither overflow the
+// exponent field nor flush prematurely. Inputs beyond the true overflow /
+// total-underflow thresholds are blended to inf / 0; NaN propagates.
+
+inline __m256d ExpPd(__m256d x) {
+  const __m256d n_f = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(1.44269504088896340736)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(n_f, _mm256_set1_pd(6.93145751953125e-1), x);
+  r = _mm256_fnmadd_pd(n_f, _mm256_set1_pd(1.42860682030941723212e-6), r);
+  const __m256d rr = _mm256_mul_pd(r, r);
+  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(3.02994407707441961300e-2));
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(9.99999999999999999910e-1));
+  p = _mm256_mul_pd(p, r);
+  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.52448340349684104192e-3));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.27265548208155028766e-1));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.0));
+  __m256d e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+  e = _mm256_fmadd_pd(e, _mm256_set1_pd(2.0), _mm256_set1_pd(1.0));
+  // e *= 2^n via two factors 2^(n/2) and 2^(n - n/2): each factor's biased
+  // exponent stays in the normal range for every n that can reach here.
+  const __m128i n_i = _mm256_cvtpd_epi32(n_f);
+  const __m128i n_half = _mm_srai_epi32(n_i, 1);
+  const __m128i bias = _mm_set1_epi32(1023);
+  const __m256i f0 = _mm256_slli_epi64(
+      _mm256_cvtepi32_epi64(_mm_add_epi32(n_half, bias)), 52);
+  const __m256i f1 = _mm256_slli_epi64(
+      _mm256_cvtepi32_epi64(
+          _mm_add_epi32(_mm_sub_epi32(n_i, n_half), bias)), 52);
+  e = _mm256_mul_pd(_mm256_mul_pd(e, _mm256_castsi256_pd(f0)),
+                    _mm256_castsi256_pd(f1));
+  // exp overflows above ln(DBL_MAX) and is exactly 0 below the subnormal
+  // floor; in between the two-factor scaling produces gradual underflow.
+  const __m256d inf = _mm256_set1_pd(__builtin_inf());
+  e = _mm256_blendv_pd(
+      e, inf, _mm256_cmp_pd(x, _mm256_set1_pd(709.782712893384), _CMP_GT_OQ));
+  e = _mm256_blendv_pd(
+      e, _mm256_setzero_pd(),
+      _mm256_cmp_pd(x, _mm256_set1_pd(-745.2), _CMP_LT_OQ));
+  return e;
+}
+
+// Cephes tanh: odd rational x + x^3 P(x^2)/Q(x^2) for |x| < 0.625, else
+// sign(x) * (1 - 2/(exp(2|x|) + 1)); the small-|x| polynomial avoids the
+// 1 - exp cancellation near zero, the exp branch saturates to ±1 exactly.
+inline __m256d TanhPd(__m256d x) {
+  const __m256d sign_bit = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, sign_bit);
+  const __m256d z = _mm256_andnot_pd(sign_bit, x);
+  const __m256d s = _mm256_mul_pd(x, x);
+  __m256d pp = _mm256_set1_pd(-9.64399179425052238628e-1);
+  pp = _mm256_fmadd_pd(pp, s, _mm256_set1_pd(-9.92877231001918586564e1));
+  pp = _mm256_fmadd_pd(pp, s, _mm256_set1_pd(-1.61468768441708447952e3));
+  __m256d qq = _mm256_add_pd(s, _mm256_set1_pd(1.12811678491632931402e2));
+  qq = _mm256_fmadd_pd(qq, s, _mm256_set1_pd(2.23548839060100448583e3));
+  qq = _mm256_fmadd_pd(qq, s, _mm256_set1_pd(4.84406305325125486048e3));
+  const __m256d small = _mm256_fmadd_pd(
+      _mm256_mul_pd(s, x), _mm256_div_pd(pp, qq), x);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d e = ExpPd(_mm256_mul_pd(z, two));
+  const __m256d big = _mm256_or_pd(
+      _mm256_sub_pd(one, _mm256_div_pd(two, _mm256_add_pd(e, one))), sign);
+  return _mm256_blendv_pd(big, small,
+                          _mm256_cmp_pd(z, _mm256_set1_pd(0.625), _CMP_LT_OQ));
+}
+
+inline __m256d SigmoidPd(__m256d x) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d e = ExpPd(_mm256_sub_pd(_mm256_setzero_pd(), x));
+  return _mm256_div_pd(one, _mm256_add_pd(one, e));
+}
+
+// Range driver: full vectors, then one masked vector for the 1..3 tail
+// elements so tails run the identical arithmetic.
+template <__m256d (*F)(__m256d)>
+void MapRange(Index n, const double* x, double* out) {
+  Index i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, F(_mm256_loadu_pd(x + i)));
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    const __m256d v = _mm256_maskload_pd(x + i, mask);
+    _mm256_maskstore_pd(out + i, mask, F(v));
+  }
+}
+
+void TanhRangeAvx2(Index n, const double* x, double* out) {
+  MapRange<TanhPd>(n, x, out);
+}
+
+void SigmoidRangeAvx2(Index n, const double* x, double* out) {
+  MapRange<SigmoidPd>(n, x, out);
+}
+
+void ExpRangeAvx2(Index n, const double* x, double* out) {
+  MapRange<ExpPd>(n, x, out);
+}
+
+}  // namespace
+
+const KernelTable& Avx2Table() {
+  static const KernelTable table = {
+      GemmPanelAvx2,   GemmTNPanelAvx2, GemmNTPanelAvx2, AxpyRangeAvx2,
+      AddScaledRangeAvx2, ScaleRangeAvx2, SumRangeAvx2,  DotRangeAvx2,
+      TanhRangeAvx2,   SigmoidRangeAvx2, ExpRangeAvx2,
+  };
+  return table;
+}
+
+}  // namespace diffode::kernels::detail
+
+#endif  // DIFFODE_HAS_AVX2_BUILD

@@ -1,0 +1,69 @@
+#ifndef DIFFODE_TENSOR_KERNELS_ISA_H_
+#define DIFFODE_TENSOR_KERNELS_ISA_H_
+
+#include "tensor/shape.h"
+
+// Internal contract between the kernel dispatch layer (kernels.cc) and the
+// per-ISA backends (kernels_scalar.cc, kernels_avx2.cc). Not part of the
+// public kernel API.
+//
+// The split of responsibilities keeps the determinism contract in one place:
+// kernels.cc owns ALL threading — the fixed chunk grids of ParallelFor /
+// ReduceSum and the chunk-ordered combination of reduction partials — while
+// a backend provides strictly serial bodies:
+//
+//   * GEMM row-panel functions, called with fixed panel bounds [i0, i1).
+//     A backend must compute each c[i][j] by a rule that depends only on
+//     (i, j, m, k, n) — never on the panel bounds — so that any row
+//     partition of the same problem produces bitwise-identical output.
+//   * Contiguous-range vector ops and elementwise maps (pure per-element
+//     functions, trivially partition-independent).
+//   * Reduction partials over one chunk of the fixed 4096-element grid
+//     (kernels::kReductionGrain). The backend fixes the intra-chunk
+//     association (e.g. 4 SIMD lanes combined in lane order); kernels.cc
+//     sums the chunk partials in chunk order.
+namespace diffode {
+using Scalar = double;  // mirrors tensor/tensor.h; this header sits below it
+}  // namespace diffode
+
+namespace diffode::kernels::detail {
+
+struct KernelTable {
+  // C = A * B row panel, A (m x k), B (k x n), all row-major.
+  void (*gemm_panel)(Index i0, Index i1, Index k, Index n, const Scalar* a,
+                     const Scalar* b, Scalar* c);
+  // C = A^T * B row panel with A stored (k x m).
+  void (*gemm_tn_panel)(Index i0, Index i1, Index m, Index k, Index n,
+                        const Scalar* a, const Scalar* b, Scalar* c);
+  // C = A * B^T row panel with B stored (n x k).
+  void (*gemm_nt_panel)(Index i0, Index i1, Index k, Index n, const Scalar* a,
+                        const Scalar* b, Scalar* c);
+
+  // Contiguous-range vector ops (serial; caller slices the range).
+  void (*axpy)(Index n, Scalar alpha, const Scalar* x, Scalar* y);
+  void (*add_scaled)(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
+                     Scalar* out);
+  void (*scale)(Index n, Scalar alpha, Scalar* x);
+
+  // Serial reduction partials over one chunk.
+  Scalar (*sum)(Index n, const Scalar* x);
+  Scalar (*dot)(Index n, const Scalar* x, const Scalar* y);
+
+  // Contiguous-range transcendental maps (out may alias x).
+  void (*tanh)(Index n, const Scalar* x, Scalar* out);
+  void (*sigmoid)(Index n, const Scalar* x, Scalar* out);
+  void (*exp)(Index n, const Scalar* x, Scalar* out);
+};
+
+// Portable C++ backend; always available.
+const KernelTable& ScalarTable();
+
+// AVX2+FMA backend; only linked on x86-64 builds (DIFFODE_HAS_AVX2_BUILD).
+// Callers must gate on simd::BestSupportedIsa() before dispatching to it.
+#if DIFFODE_HAS_AVX2_BUILD
+const KernelTable& Avx2Table();
+#endif
+
+}  // namespace diffode::kernels::detail
+
+#endif  // DIFFODE_TENSOR_KERNELS_ISA_H_

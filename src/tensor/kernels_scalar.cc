@@ -1,0 +1,184 @@
+// Portable scalar backend for the kernel layer. These are the PR-1 blocked
+// loops, unchanged: cache-tiled GEMM panels with a 4-row register kernel,
+// plus straightforward range ops. Kept free of target-specific flags so the
+// scalar ISA is buildable and bit-stable everywhere; the AVX2 backend in
+// kernels_avx2.cc is the one allowed to assume vector hardware.
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels_isa.h"
+
+namespace diffode::kernels::detail {
+namespace {
+
+// Cache tile edge for the GEMM family: a 64x64 double tile is 32 KiB, so an
+// A-panel tile plus the B tile stay resident in L1/L2 while a row panel of C
+// streams through.
+constexpr Index kTile = 64;
+
+// One row panel [i0, i1) of C = A * B. For each (k-tile, j-tile) the inner
+// kernel advances four rows of C at once, so every loaded b value feeds four
+// multiply-adds. Accumulation into a given c[i][j] happens in strictly
+// increasing p order regardless of tiling, which keeps results identical for
+// any row partition.
+void GemmPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
+               const Scalar* b, Scalar* c) {
+  std::fill(c + i0 * n, c + i1 * n, 0.0);
+  for (Index p0 = 0; p0 < k; p0 += kTile) {
+    const Index p1 = std::min(k, p0 + kTile);
+    for (Index j0 = 0; j0 < n; j0 += kTile) {
+      const Index j1 = std::min(n, j0 + kTile);
+      Index i = i0;
+      for (; i + 4 <= i1; i += 4) {
+        Scalar* c0 = c + (i + 0) * n;
+        Scalar* c1 = c + (i + 1) * n;
+        Scalar* c2 = c + (i + 2) * n;
+        Scalar* c3 = c + (i + 3) * n;
+        for (Index p = p0; p < p1; ++p) {
+          const Scalar a0 = a[(i + 0) * k + p];
+          const Scalar a1 = a[(i + 1) * k + p];
+          const Scalar a2 = a[(i + 2) * k + p];
+          const Scalar a3 = a[(i + 3) * k + p];
+          const Scalar* bp = b + p * n;
+          for (Index j = j0; j < j1; ++j) {
+            const Scalar bj = bp[j];
+            c0[j] += a0 * bj;
+            c1[j] += a1 * bj;
+            c2[j] += a2 * bj;
+            c3[j] += a3 * bj;
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        Scalar* ci = c + i * n;
+        for (Index p = p0; p < p1; ++p) {
+          const Scalar aip = a[i * k + p];
+          const Scalar* bp = b + p * n;
+          for (Index j = j0; j < j1; ++j) ci[j] += aip * bp[j];
+        }
+      }
+    }
+  }
+}
+
+// One row panel of C = A^T * B with A stored (k x m): identical structure to
+// GemmPanel but A is read down its columns (stride m).
+void GemmTNPanel(Index i0, Index i1, Index m, Index k, Index n,
+                 const Scalar* a, const Scalar* b, Scalar* c) {
+  std::fill(c + i0 * n, c + i1 * n, 0.0);
+  for (Index p0 = 0; p0 < k; p0 += kTile) {
+    const Index p1 = std::min(k, p0 + kTile);
+    for (Index j0 = 0; j0 < n; j0 += kTile) {
+      const Index j1 = std::min(n, j0 + kTile);
+      Index i = i0;
+      for (; i + 4 <= i1; i += 4) {
+        Scalar* c0 = c + (i + 0) * n;
+        Scalar* c1 = c + (i + 1) * n;
+        Scalar* c2 = c + (i + 2) * n;
+        Scalar* c3 = c + (i + 3) * n;
+        for (Index p = p0; p < p1; ++p) {
+          const Scalar* ap = a + p * m + i;
+          const Scalar a0 = ap[0];
+          const Scalar a1 = ap[1];
+          const Scalar a2 = ap[2];
+          const Scalar a3 = ap[3];
+          const Scalar* bp = b + p * n;
+          for (Index j = j0; j < j1; ++j) {
+            const Scalar bj = bp[j];
+            c0[j] += a0 * bj;
+            c1[j] += a1 * bj;
+            c2[j] += a2 * bj;
+            c3[j] += a3 * bj;
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        Scalar* ci = c + i * n;
+        for (Index p = p0; p < p1; ++p) {
+          const Scalar aip = a[p * m + i];
+          const Scalar* bp = b + p * n;
+          for (Index j = j0; j < j1; ++j) ci[j] += aip * bp[j];
+        }
+      }
+    }
+  }
+}
+
+// One row panel of C = A * B^T with B stored (n x k): each output is a dot
+// product of two contiguous rows, unrolled into four partial accumulators.
+// The combine order of the partials is fixed by the code, so results are
+// reproducible (though deliberately not identical to a 1-accumulator loop).
+void GemmNTPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
+                 const Scalar* b, Scalar* c) {
+  for (Index i = i0; i < i1; ++i) {
+    const Scalar* ai = a + i * k;
+    Scalar* ci = c + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const Scalar* bj = b + j * k;
+      Scalar s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      Index p = 0;
+      for (; p + 4 <= k; p += 4) {
+        s0 += ai[p + 0] * bj[p + 0];
+        s1 += ai[p + 1] * bj[p + 1];
+        s2 += ai[p + 2] * bj[p + 2];
+        s3 += ai[p + 3] * bj[p + 3];
+      }
+      Scalar s = (s0 + s1) + (s2 + s3);
+      for (; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+}
+
+void AxpyRange(Index n, Scalar alpha, const Scalar* x, Scalar* y) {
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AddScaledRange(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
+                    Scalar* out) {
+  for (Index i = 0; i < n; ++i) out[i] = x[i] + alpha * y[i];
+}
+
+void ScaleRange(Index n, Scalar alpha, Scalar* x) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+Scalar SumRange(Index n, const Scalar* x) {
+  Scalar s = 0.0;
+  for (Index i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+Scalar DotRange(Index n, const Scalar* x, const Scalar* y) {
+  Scalar s = 0.0;
+  for (Index i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+// The scalar transcendental maps call libm directly, so the scalar ISA
+// reproduces the pre-SIMD behavior bit for bit.
+void TanhRange(Index n, const Scalar* x, Scalar* out) {
+  for (Index i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
+}
+
+void SigmoidRange(Index n, const Scalar* x, Scalar* out) {
+  for (Index i = 0; i < n; ++i) out[i] = 1.0 / (1.0 + std::exp(-x[i]));
+}
+
+void ExpRange(Index n, const Scalar* x, Scalar* out) {
+  for (Index i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      GemmPanel,      GemmTNPanel, GemmNTPanel, AxpyRange, AddScaledRange,
+      ScaleRange,     SumRange,    DotRange,    TanhRange, SigmoidRange,
+      ExpRange,
+  };
+  return table;
+}
+
+}  // namespace diffode::kernels::detail

@@ -1,0 +1,71 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace diffode::simd {
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if DIFFODE_HAS_AVX2_BUILD && (defined(__x86_64__) || defined(_M_X64))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// Startup resolution: DIFFODE_KERNEL_ISA if set and usable, else the best
+// the hardware offers. Runs exactly once (from the ActiveIsaState local
+// static); warnings go to stderr so a bad override is visible but harmless.
+Isa ResolveStartupIsa() {
+  const Isa best = BestSupportedIsa();
+  const char* env = std::getenv("DIFFODE_KERNEL_ISA");
+  if (env == nullptr || env[0] == '\0') return best;
+  if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (best == Isa::kAvx2) return Isa::kAvx2;
+    std::fprintf(stderr,
+                 "[DIFFODE] DIFFODE_KERNEL_ISA=avx2 requested but this "
+                 "CPU/build has no AVX2+FMA support; using scalar kernels\n");
+    return Isa::kScalar;
+  }
+  std::fprintf(stderr,
+               "[DIFFODE] unknown DIFFODE_KERNEL_ISA value \"%s\" "
+               "(expected \"scalar\" or \"avx2\"); using %s\n",
+               env, IsaName(best));
+  return best;
+}
+
+std::atomic<Isa>& ActiveIsaState() {
+  static std::atomic<Isa> state{ResolveStartupIsa()};
+  return state;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Isa BestSupportedIsa() {
+  static const Isa best = CpuHasAvx2Fma() ? Isa::kAvx2 : Isa::kScalar;
+  return best;
+}
+
+Isa ActiveIsa() { return ActiveIsaState().load(std::memory_order_relaxed); }
+
+bool SetActiveIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && BestSupportedIsa() != Isa::kAvx2) return false;
+  ActiveIsaState().store(isa, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace diffode::simd

@@ -1,0 +1,39 @@
+#ifndef DIFFODE_TENSOR_SIMD_H_
+#define DIFFODE_TENSOR_SIMD_H_
+
+namespace diffode::simd {
+
+// Instruction-set backends for the kernel layer (tensor/kernels.h). The
+// scalar backend is portable C++ and always present; kAvx2 is the AVX2+FMA
+// microkernel backend in kernels_avx2.cc, compiled only on x86-64.
+//
+// Dispatch is resolved once at startup: the best ISA the CPU and the build
+// both support, overridable with DIFFODE_KERNEL_ISA=scalar|avx2. The
+// determinism contract is per ISA — for a fixed input and a fixed ISA every
+// kernel is bitwise reproducible at any thread count; switching ISA may move
+// results by rounding-level amounts (different accumulation widths / FMA).
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+// Human-readable backend name ("scalar", "avx2").
+const char* IsaName(Isa isa);
+
+// Best ISA both this binary and this CPU support (CPUID feature detection).
+Isa BestSupportedIsa();
+
+// The ISA the kernel layer is currently dispatching to. Resolved once at
+// startup from BestSupportedIsa() and the DIFFODE_KERNEL_ISA environment
+// override; an override naming an unsupported ISA falls back to scalar with
+// a warning on stderr.
+Isa ActiveIsa();
+
+// Test/bench hook: redirects kernel dispatch to `isa`. Returns false (and
+// changes nothing) if the ISA is not supported on this CPU/build. Not safe
+// to call while kernels are in flight on other threads.
+bool SetActiveIsa(Isa isa);
+
+}  // namespace diffode::simd
+
+#endif  // DIFFODE_TENSOR_SIMD_H_

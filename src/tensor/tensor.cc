@@ -47,34 +47,6 @@ void Tensor::SetZero() {
   std::fill(data_.begin(), data_.end(), 0.0);
 }
 
-Index Tensor::rows() const {
-  if (rank() == 1) return 1;
-  DIFFODE_CHECK_EQ(rank(), 2);
-  return shape_.dim(0);
-}
-
-Index Tensor::cols() const {
-  if (rank() == 1) return shape_.dim(0);
-  DIFFODE_CHECK_EQ(rank(), 2);
-  return shape_.dim(1);
-}
-
-Scalar& Tensor::at(Index r, Index c) {
-  DIFFODE_CHECK_GE(r, 0);
-  DIFFODE_CHECK_LT(r, rows());
-  DIFFODE_CHECK_GE(c, 0);
-  DIFFODE_CHECK_LT(c, cols());
-  return data_[static_cast<std::size_t>(r * cols() + c)];
-}
-
-Scalar Tensor::at(Index r, Index c) const {
-  DIFFODE_CHECK_GE(r, 0);
-  DIFFODE_CHECK_LT(r, rows());
-  DIFFODE_CHECK_GE(c, 0);
-  DIFFODE_CHECK_LT(c, cols());
-  return data_[static_cast<std::size_t>(r * cols() + c)];
-}
-
 Tensor& Tensor::operator+=(const Tensor& other) {
   DIFFODE_CHECK_MSG(shape_ == other.shape_, "operator+= shape mismatch");
   kernels::Axpy(numel(), 1.0, other.data(), data());
@@ -206,10 +178,13 @@ Tensor Tensor::RowSums() const {
   const Index r = rows();
   const Index c = cols();
   Tensor out = Uninit(Shape{r, 1});
+  const Scalar* src = data();
+  Scalar* dst = out.data();
   for (Index i = 0; i < r; ++i) {
+    const Scalar* row = src + i * c;
     Scalar s = 0.0;
-    for (Index j = 0; j < c; ++j) s += at(i, j);
-    out.at(i, 0) = s;
+    for (Index j = 0; j < c; ++j) s += row[j];
+    dst[i] = s;
   }
   return out;
 }
@@ -218,10 +193,15 @@ Tensor Tensor::ColSums() const {
   const Index r = rows();
   const Index c = cols();
   Tensor out = Uninit(Shape{1, c});
-  for (Index j = 0; j < c; ++j) {
-    Scalar s = 0.0;
-    for (Index i = 0; i < r; ++i) s += at(i, j);
-    out.at(0, j) = s;
+  // Row-major accumulation: each out[j] still sums rows in increasing i
+  // order (bit-identical to the column-walk it replaces) but memory access
+  // is contiguous.
+  Scalar* dst = out.data();
+  std::fill(dst, dst + c, 0.0);
+  const Scalar* src = data();
+  for (Index i = 0; i < r; ++i) {
+    const Scalar* row = src + i * c;
+    for (Index j = 0; j < c; ++j) dst[j] += row[j];
   }
   return out;
 }
@@ -242,14 +222,17 @@ Tensor Tensor::Col(Index c) const {
   DIFFODE_CHECK_GE(c, 0);
   DIFFODE_CHECK_LT(c, cols());
   const Index r = rows();
+  const Index nc = cols();
   Tensor out = Uninit(Shape{r, 1});
-  for (Index i = 0; i < r; ++i) out.at(i, 0) = at(i, c);
+  const Scalar* src = data() + c;
+  Scalar* dst = out.data();
+  for (Index i = 0; i < r; ++i) dst[i] = src[i * nc];
   return out;
 }
 
 void Tensor::SetRow(Index r, const Tensor& row) {
   DIFFODE_CHECK_EQ(row.numel(), cols());
-  for (Index j = 0; j < cols(); ++j) at(r, j) = row[j];
+  std::copy(row.data(), row.data() + cols(), data() + r * cols());
 }
 
 Tensor Tensor::ConcatRows(const std::vector<Tensor>& parts) {
@@ -261,11 +244,9 @@ Tensor Tensor::ConcatRows(const std::vector<Tensor>& parts) {
     total += p.rows();
   }
   Tensor out = Uninit(Shape{total, c});
-  Index r = 0;
+  Scalar* dst = out.data();
   for (const auto& p : parts) {
-    for (Index i = 0; i < p.rows(); ++i)
-      for (Index j = 0; j < c; ++j) out.at(r + i, j) = p.at(i, j);
-    r += p.rows();
+    dst = std::copy(p.data(), p.data() + p.numel(), dst);
   }
   return out;
 }
@@ -279,11 +260,14 @@ Tensor Tensor::ConcatCols(const std::vector<Tensor>& parts) {
     total += p.cols();
   }
   Tensor out = Uninit(Shape{r, total});
+  Scalar* base = out.data();
   Index c = 0;
   for (const auto& p : parts) {
+    const Index pc = p.cols();
+    const Scalar* src = p.data();
     for (Index i = 0; i < r; ++i)
-      for (Index j = 0; j < p.cols(); ++j) out.at(i, c + j) = p.at(i, j);
-    c += p.cols();
+      std::copy(src + i * pc, src + (i + 1) * pc, base + i * total + c);
+    c += pc;
   }
   return out;
 }

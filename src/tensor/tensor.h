@@ -67,9 +67,18 @@ class Tensor {
   Index rank() const { return shape_.rank(); }
   Index numel() const { return shape_.numel(); }
   bool empty() const { return data_.empty(); }
-  // 2-D conveniences; a rank-1 tensor is treated as a single row.
-  Index rows() const;
-  Index cols() const;
+  // 2-D conveniences; a rank-1 tensor is treated as a single row. Inline:
+  // these sit on the hot path of every elementwise loop in the tree.
+  Index rows() const {
+    if (rank() == 1) return 1;
+    DIFFODE_CHECK_EQ(rank(), 2);
+    return shape_.dim(0);
+  }
+  Index cols() const {
+    if (rank() == 1) return shape_.dim(0);
+    DIFFODE_CHECK_EQ(rank(), 2);
+    return shape_.dim(1);
+  }
 
   // Raw element access.
   Scalar* data() { return data_.data(); }
@@ -89,8 +98,20 @@ class Tensor {
     DIFFODE_CHECK_LT(i, numel());
     return data_[static_cast<std::size_t>(i)];
   }
-  Scalar& at(Index r, Index c);
-  Scalar at(Index r, Index c) const;
+  Scalar& at(Index r, Index c) {
+    DIFFODE_CHECK_GE(r, 0);
+    DIFFODE_CHECK_LT(r, rows());
+    DIFFODE_CHECK_GE(c, 0);
+    DIFFODE_CHECK_LT(c, cols());
+    return data_[static_cast<std::size_t>(r * cols() + c)];
+  }
+  Scalar at(Index r, Index c) const {
+    DIFFODE_CHECK_GE(r, 0);
+    DIFFODE_CHECK_LT(r, rows());
+    DIFFODE_CHECK_GE(c, 0);
+    DIFFODE_CHECK_LT(c, cols());
+    return data_[static_cast<std::size_t>(r * cols() + c)];
+  }
   // Value of a single-element tensor.
   Scalar item() const {
     DIFFODE_CHECK_EQ(numel(), 1);

@@ -1,0 +1,280 @@
+// Scalar-vs-AVX2 backend equivalence and per-ISA determinism.
+//
+// The two backends are allowed to differ by rounding (FMA contraction, SIMD
+// lane association, polynomial transcendentals), so cross-ISA checks use an
+// ulp budget rather than bitwise equality. Within one ISA, results must be
+// bitwise identical at any thread count — the PR-1 determinism contract,
+// re-verified here for both backends.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/parallel.h"
+#include "tensor/kernels.h"
+#include "tensor/random.h"
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+
+namespace diffode::kernels {
+namespace {
+
+bool HasAvx2() { return simd::BestSupportedIsa() == simd::Isa::kAvx2; }
+
+// Restores the startup ISA even if the test fails mid-way.
+struct IsaGuard {
+  explicit IsaGuard(simd::Isa isa) : prev(simd::ActiveIsa()) {
+    EXPECT_TRUE(simd::SetActiveIsa(isa));
+  }
+  ~IsaGuard() { simd::SetActiveIsa(prev); }
+  simd::Isa prev;
+};
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) { parallel::ThreadPool::SetNumThreads(n); }
+  ~ThreadCountGuard() { parallel::ThreadPool::SetNumThreads(0); }
+};
+
+// Distance in representable doubles between a and b (same-sign finite
+// values; the monotone integer mapping of IEEE-754 makes this exact).
+std::uint64_t UlpDiff(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  if (std::isnan(a) || std::isnan(b)) return ~std::uint64_t{0};
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if ((ia < 0) != (ib < 0)) return ~std::uint64_t{0};  // opposite signs
+  const std::int64_t d = ia - ib;
+  return static_cast<std::uint64_t>(d < 0 ? -d : d);
+}
+
+// Cross-ISA agreement: |got - want| within max_ulp, with an absolute escape
+// hatch for results that cancel to ~0 (ulp distance explodes near zero).
+void ExpectClose(const Tensor& got, const Tensor& want, std::uint64_t max_ulp,
+                 double abs_tol, const char* what) {
+  ASSERT_TRUE(got.shape() == want.shape());
+  for (Index i = 0; i < got.numel(); ++i) {
+    if (std::fabs(got[i] - want[i]) <= abs_tol) continue;
+    EXPECT_LE(UlpDiff(got[i], want[i]), max_ulp)
+        << what << " i=" << i << " got=" << got[i] << " want=" << want[i];
+  }
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.shape() == b.shape());
+  for (Index i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(UlpDiff(a[i], b[i]), 0u)
+        << what << " i=" << i << " a=" << a[i] << " b=" << b[i];
+  }
+}
+
+// Shapes chosen to exercise every microkernel edge: sizes below one vector,
+// non-multiples of the 8-row / 4-column register blocks, the kc=256 packing
+// boundary of GemmTN, GEMV-like n=1, and empty tensors.
+struct GemmShape {
+  Index m, k, n;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {1, 9, 1},    {3, 5, 2},    {7, 13, 5},   {8, 32, 4},
+    {9, 33, 5},  {17, 300, 7}, {31, 64, 1},  {64, 257, 3}, {65, 130, 33},
+    {128, 32, 128}, {0, 4, 4}, {4, 0, 4},    {4, 4, 0},
+};
+
+template <typename Fn>
+Tensor WithIsa(simd::Isa isa, Fn fn) {
+  IsaGuard guard(isa);
+  return fn();
+}
+
+TEST(KernelsIsaTest, GemmFamilyMatchesScalarBackend) {
+  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(101);
+  for (const auto& s : kGemmShapes) {
+    Tensor a = rng.NormalTensor(Shape{s.m, s.k});
+    Tensor b = rng.NormalTensor(Shape{s.k, s.n});
+    Tensor at = rng.NormalTensor(Shape{s.k, s.m});  // A stored transposed
+    Tensor bt = rng.NormalTensor(Shape{s.n, s.k});  // B stored transposed
+
+    auto run = [&](simd::Isa isa, void (*gemm)(Index, Index, Index,
+                                               const Scalar*, const Scalar*,
+                                               Scalar*),
+                   const Tensor& lhs, const Tensor& rhs) {
+      return WithIsa(isa, [&] {
+        Tensor c(Shape{s.m, s.n});
+        gemm(s.m, s.k, s.n, lhs.data(), rhs.data(), c.data());
+        return c;
+      });
+    };
+
+    // k accumulation magnifies rounding differences, so budget scales with k.
+    const std::uint64_t ulp = 16 + 4 * static_cast<std::uint64_t>(s.k);
+    ExpectClose(run(simd::Isa::kAvx2, Gemm, a, b),
+                run(simd::Isa::kScalar, Gemm, a, b), ulp, 1e-13, "Gemm");
+    ExpectClose(run(simd::Isa::kAvx2, GemmTN, at, b),
+                run(simd::Isa::kScalar, GemmTN, at, b), ulp, 1e-13, "GemmTN");
+    ExpectClose(run(simd::Isa::kAvx2, GemmNT, a, bt),
+                run(simd::Isa::kScalar, GemmNT, a, bt), ulp, 1e-13, "GemmNT");
+  }
+}
+
+TEST(KernelsIsaTest, VectorOpsMatchScalarBackend) {
+  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(102);
+  for (Index n : {Index{0}, Index{1}, Index{3}, Index{4}, Index{7}, Index{64},
+                  Index{1001}, Index{20000}}) {
+    Tensor x = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
+    Tensor y0 = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
+    const Scalar alpha = 1.7;
+
+    auto axpy = [&](simd::Isa isa) {
+      return WithIsa(isa, [&] {
+        Tensor y = y0;
+        Axpy(n, alpha, x.data(), y.data());
+        return y;
+      });
+    };
+    auto add_scaled = [&](simd::Isa isa) {
+      return WithIsa(isa, [&] {
+        Tensor out = Tensor::Uninit(x.shape());
+        AddScaled(n, x.data(), alpha, y0.data(), out.data());
+        for (Index i = n; i < out.numel(); ++i) out[i] = 0.0;
+        return out;
+      });
+    };
+    auto scale = [&](simd::Isa isa) {
+      return WithIsa(isa, [&] {
+        Tensor v = x;
+        Scale(n, alpha, v.data());
+        return v;
+      });
+    };
+    // Per-element ops: a*b+c contracts to FMA on the AVX2 backend only. The
+    // absolute error is bounded by one rounding of the product (~eps·|αx|),
+    // but the ulp distance of the SUM blows up when the add cancels, so the
+    // budget pairs a small ulp cap with an operand-scaled absolute floor.
+    ExpectClose(axpy(simd::Isa::kAvx2), axpy(simd::Isa::kScalar), 4, 4e-15,
+                "Axpy");
+    ExpectClose(add_scaled(simd::Isa::kAvx2), add_scaled(simd::Isa::kScalar),
+                4, 4e-15, "AddScaled");
+    ExpectBitwiseEqual(scale(simd::Isa::kAvx2), scale(simd::Isa::kScalar),
+                       "Scale");
+  }
+}
+
+TEST(KernelsIsaTest, ReductionsMatchScalarBackend) {
+  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  Rng rng(103);
+  for (Index n : {Index{0}, Index{1}, Index{5}, Index{4095}, Index{4096},
+                  Index{4097}, Index{50000}}) {
+    Tensor x = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
+    Tensor y = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
+    Scalar sum_avx, sum_sca, dot_avx, dot_sca;
+    {
+      IsaGuard g(simd::Isa::kAvx2);
+      sum_avx = Sum(n, x.data());
+      dot_avx = Dot(n, x.data(), y.data());
+    }
+    {
+      IsaGuard g(simd::Isa::kScalar);
+      sum_sca = Sum(n, x.data());
+      dot_sca = Dot(n, x.data(), y.data());
+    }
+    const double tol = 1e-11 * std::sqrt(static_cast<double>(n) + 1.0);
+    EXPECT_NEAR(sum_avx, sum_sca, tol) << "n=" << n;
+    EXPECT_NEAR(dot_avx, dot_sca, tol) << "n=" << n;
+  }
+}
+
+TEST(KernelsIsaTest, TranscendentalsMatchLibm) {
+  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+  // Regular range plus the branch points and extremes of the vector
+  // implementations: tanh's 0.625 split, exp's overflow/flush thresholds,
+  // infinities and NaN.
+  std::vector<Scalar> xs;
+  Rng rng(104);
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.Uniform(-30.0, 30.0));
+  for (Scalar s : {-1.0, 1.0}) {
+    for (Scalar v : {0.0, 1e-300, 1e-8, 0.624, 0.625, 0.626, 1.0, 19.0, 22.0,
+                     100.0, 708.0, 709.7, 709.9, 745.0, 746.0, 1e4})
+      xs.push_back(s * v);
+  }
+  xs.push_back(std::numeric_limits<Scalar>::infinity());
+  xs.push_back(-std::numeric_limits<Scalar>::infinity());
+  xs.push_back(std::numeric_limits<Scalar>::quiet_NaN());
+
+  const Index n = static_cast<Index>(xs.size());
+  Tensor x(Shape{1, n});
+  for (Index i = 0; i < n; ++i) x[i] = xs[static_cast<std::size_t>(i)];
+
+  auto run = [&](simd::Isa isa, void (*map)(Index, const Scalar*, Scalar*)) {
+    return WithIsa(isa, [&] {
+      Tensor out = Tensor::Uninit(x.shape());
+      map(n, x.data(), out.data());
+      return out;
+    });
+  };
+
+  // 4 ulp vs libm plus an absolute floor for subnormal exp results.
+  ExpectClose(run(simd::Isa::kAvx2, MapTanh), run(simd::Isa::kScalar, MapTanh),
+              4, 1e-300, "tanh");
+  ExpectClose(run(simd::Isa::kAvx2, MapSigmoid),
+              run(simd::Isa::kScalar, MapSigmoid), 4, 1e-300, "sigmoid");
+  ExpectClose(run(simd::Isa::kAvx2, MapExp), run(simd::Isa::kScalar, MapExp),
+              4, 1e-300, "exp");
+}
+
+TEST(KernelsIsaTest, BitwiseDeterministicAcrossThreadCountsPerIsa) {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (HasAvx2()) isas.push_back(simd::Isa::kAvx2);
+  Rng rng(105);
+  const Index m = 96, k = 300, n = 40;
+  Tensor a = rng.NormalTensor(Shape{m, k});
+  Tensor b = rng.NormalTensor(Shape{k, n});
+  Tensor big = rng.NormalTensor(Shape{1, 50000});
+
+  for (simd::Isa isa : isas) {
+    IsaGuard ig(isa);
+    Tensor c1(Shape{m, n}), t1 = Tensor::Uninit(big.shape());
+    Scalar s1;
+    {
+      ThreadCountGuard tg(1);
+      Gemm(m, k, n, a.data(), b.data(), c1.data());
+      MapTanh(big.numel(), big.data(), t1.data());
+      s1 = Sum(big.numel(), big.data());
+    }
+    for (int threads : {2, 4}) {
+      ThreadCountGuard tg(threads);
+      Tensor c(Shape{m, n}), t = Tensor::Uninit(big.shape());
+      Gemm(m, k, n, a.data(), b.data(), c.data());
+      MapTanh(big.numel(), big.data(), t.data());
+      const Scalar s = Sum(big.numel(), big.data());
+      ExpectBitwiseEqual(c, c1, simd::IsaName(isa));
+      ExpectBitwiseEqual(t, t1, simd::IsaName(isa));
+      EXPECT_EQ(UlpDiff(s, s1), 0u) << simd::IsaName(isa) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(KernelsIsaTest, EnvOverrideAndDispatchStateAreConsistent) {
+  // Whatever the startup resolution chose, it must be a supported ISA, and
+  // SetActiveIsa must refuse unsupported requests without changing state.
+  const simd::Isa active = simd::ActiveIsa();
+  EXPECT_TRUE(active == simd::Isa::kScalar || active == simd::Isa::kAvx2);
+  if (!HasAvx2()) {
+    EXPECT_EQ(active, simd::Isa::kScalar);
+    EXPECT_FALSE(simd::SetActiveIsa(simd::Isa::kAvx2));
+    EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  }
+  EXPECT_TRUE(simd::SetActiveIsa(simd::Isa::kScalar));
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  EXPECT_TRUE(simd::SetActiveIsa(active));
+}
+
+}  // namespace
+}  // namespace diffode::kernels
