@@ -7,7 +7,9 @@
 //   diffode_cli train --data=climate.csv --channels=5 --task=interpolation
 //               --model=DIFFODE --epochs=10 --save=weights.bin
 //   diffode_cli train --data=labeled.csv --channels=1 --labels
-//               --task=classification --model=GRU-D
+//               --task=classification --model=DIFFODE
+//   diffode_cli predict --data=climate.csv --channels=5
+//               --load=weights.bin --at=12.5,14.0
 //
 // Flags use --key=value form; `diffode_cli help` lists everything.
 
@@ -60,8 +62,22 @@ int Usage() {
       "      --task=<classification|interpolation|extrapolation>\n"
       "      [--model=DIFFODE] [--epochs=10] [--lr=0.003] [--latent=16]\n"
       "      [--step=0.5] [--save=weights.bin] [--load=weights.bin]\n"
+      "  diffode_cli predict --data=<csv> --channels=F --load=weights.bin\n"
+      "      --at=<t1,t2,...> [--model=DIFFODE] [--latent=16] [--step=0.5]\n"
       "  diffode_cli models     # list available models\n");
   return 1;
+}
+
+std::vector<Scalar> ParseTimes(const std::string& csv) {
+  std::vector<Scalar> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    if (next > pos) out.push_back(std::stod(csv.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
 }
 
 int RunGenerate(const std::map<std::string, std::string>& flags) {
@@ -200,6 +216,69 @@ int RunTrain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Forward-only serving: reload a checkpoint into a frozen model and predict
+// each series at the requested times, tape-free under NoGradScope.
+int RunPredict(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "data", "");
+  const std::string load = FlagOr(flags, "load", "");
+  const std::string at = FlagOr(flags, "at", "");
+  if (path.empty() || load.empty() || at.empty()) return Usage();
+  const Index channels = std::stoll(FlagOr(flags, "channels", "1"));
+  std::string error;
+  auto series = data::LoadCsv(path, channels, /*labels=*/false, &error);
+  if (series.empty()) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  const std::vector<Scalar> times = ParseTimes(at);
+  if (times.empty()) return Usage();
+
+  const std::string model_name = FlagOr(flags, "model", "DIFFODE");
+  const Index latent = std::stoll(FlagOr(flags, "latent", "16"));
+  const Scalar step = std::stod(FlagOr(flags, "step", "0.5"));
+  std::unique_ptr<core::SequenceModel> model;
+  if (model_name == "DIFFODE") {
+    core::DiffOdeConfig config;
+    config.input_dim = channels;
+    config.latent_dim = latent;
+    config.hippo_dim = 12;
+    config.info_dim = 12;
+    config.step = step;
+    model = std::make_unique<core::DiffOde>(config);
+  } else {
+    baselines::BaselineConfig config;
+    config.input_dim = channels;
+    config.hidden_dim = latent;
+    config.step = step;
+    model = baselines::MakeBaseline(model_name, config);
+  }
+  auto params = model->Params();
+  if (!nn::LoadParams(&params, load)) {
+    std::fprintf(stderr,
+                 "cannot load weights from %s (architecture mismatch?)\n",
+                 load.c_str());
+    return 1;
+  }
+  model->Freeze();
+
+  ag::NoGradScope no_grad;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].length() < 2) continue;
+    (void)model->TakeAuxiliaryLoss();
+    auto preds = model->PredictAt(series[i], times);
+    (void)model->TakeAuxiliaryLoss();
+    std::printf("series %zu:", i);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      std::printf("  t=%.3f ->", times[k]);
+      const Tensor& row = preds[k].value();
+      for (Index j = 0; j < row.cols(); ++j)
+        std::printf(" %.4f", row.at(0, j));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +287,7 @@ int main(int argc, char** argv) {
   auto flags = ParseFlags(argc, argv, 2);
   if (command == "generate") return RunGenerate(flags);
   if (command == "train") return RunTrain(flags);
+  if (command == "predict") return RunPredict(flags);
   if (command == "models") {
     std::printf("DIFFODE\n");
     for (const auto& name : diffode::baselines::BaselineNames())

@@ -76,7 +76,12 @@ int main() {
                 epoch_loss / train_set.size());
   }
 
-  // 4. Classify a fresh series.
+  // 4. Serve: freeze the trained weights (no more gradients will flow) and
+  //    classify a fresh series tape-free under ag::NoGradScope. A no-grad
+  //    forward builds no backward graph but produces bitwise-identical
+  //    values, so this is the shape of an inference deployment.
+  model.Freeze();
+  ag::NoGradScope no_grad;
   data::IrregularSeries test = MakeWave(+1.0, 999);
   ag::Var logits = model.ClassifyLogits(test);
   std::printf("\ntest logits: %s  (true label %lld)\n",

@@ -1,43 +1,46 @@
 #!/usr/bin/env bash
-# Runs the Table V efficiency benchmark plus the kernel ISA micro sweep and
-# writes BENCH_PR3.json with the before/after ms-per-epoch of every model and
-# the scalar-vs-avx2 speedup of each GEMM/map shape. "Before" defaults to the
-# numbers recorded on main after the allocation-free hot path (PR 2); point
-# BASELINE_CSV at a saved `bench_table5_efficiency --csv` dump to compare
-# against a different baseline.
+# Runs the Table V efficiency benchmark (training-throughput regression
+# check), the new single-sequence inference latency benchmark (the grad-on
+# vs NoGradScope eval speedup), and the kernel ISA micro sweep, then writes
+# BENCH_PR4.json. "Before" defaults to the ms-per-epoch recorded on main
+# after the AVX2 kernel backend (PR 3); point BASELINE_CSV at a saved
+# `bench_table5_efficiency --csv` dump to compare against something else.
 #
 #   scripts/bench_report.sh                       # build, bench, report
 #   BASELINE_CSV=old.csv scripts/bench_report.sh  # custom baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR4.json}"
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target bench_table5_efficiency bench_micro_substrates > /dev/null
+cmake --build build -j --target bench_table5_efficiency bench_infer_latency \
+  bench_micro_substrates > /dev/null
 
 AFTER_CSV="$(mktemp)"
+INFER_CSV="$(mktemp)"
 MICRO_JSON="$(mktemp)"
-trap 'rm -f "$AFTER_CSV" "$MICRO_JSON"' EXIT
+trap 'rm -f "$AFTER_CSV" "$INFER_CSV" "$MICRO_JSON"' EXIT
 ./build/bench/bench_table5_efficiency --csv > "$AFTER_CSV"
+./build/bench/bench_infer_latency --csv > "$INFER_CSV"
 ./build/bench/bench_micro_substrates --benchmark_filter='Isa' \
   --benchmark_format=json > "$MICRO_JSON" 2>/dev/null
 
-BASELINE_CSV="${BASELINE_CSV:-}" AFTER_CSV="$AFTER_CSV" \
+BASELINE_CSV="${BASELINE_CSV:-}" AFTER_CSV="$AFTER_CSV" INFER_CSV="$INFER_CSV" \
 MICRO_JSON="$MICRO_JSON" OUT="$OUT" python3 - <<'EOF'
 import csv, json, os
 
-# ms/epoch measured on main (commit 9673e60) at the default bench scale,
-# after the tape arena / buffer pool / DHS cache but before the AVX2+FMA
-# kernel backend (the BENCH_PR2.json "after" column).
+# ms/epoch measured on main (commit 51b820f) at the default bench scale,
+# after the AVX2+FMA kernel backend (the BENCH_PR3.json "after" column).
+# The grad-mode refactor must not regress these by more than 2%.
 DEFAULT_BEFORE = {
-    "ContiFormer": 18.8,
-    "HiPPO-obs": 5.7,
-    "GRU-D": 17.7,
-    "ODE-RNN": 18.8,
-    "Latent ODE": 31.1,
-    "PolyODE": 31.0,
-    "DIFFODE": 93.4,
+    "ContiFormer": 11.0,
+    "HiPPO-obs": 3.8,
+    "GRU-D": 12.6,
+    "ODE-RNN": 13.5,
+    "Latent ODE": 18.7,
+    "PolyODE": 20.5,
+    "DIFFODE": 64.3,
 }
 
 def load(path):
@@ -63,6 +66,24 @@ for name, ms in after.items():
         entry["speedup"] = round(before[name] / ms, 3) if ms else None
         entry["improvement_pct"] = round(100.0 * (before[name] - ms) / before[name], 1)
     models.append(entry)
+
+# Inference latency table: grad-on vs NoGradScope per model.
+latency = []
+with open(os.environ["INFER_CSV"]) as f:
+    for row in csv.reader(f):
+        if len(row) >= 7 and row[0] not in ("table", "model"):
+            try:
+                latency.append({
+                    "model": row[0],
+                    "grad_p50_ms": float(row[1]),
+                    "grad_p95_ms": float(row[2]),
+                    "nograd_p50_ms": float(row[3]),
+                    "nograd_p95_ms": float(row[4]),
+                    "nograd_seqs_per_sec": float(row[5]),
+                    "nograd_speedup": float(row[6]),
+                })
+            except ValueError:
+                pass
 
 # Pair the scalar/avx2 rows of the ISA sweep by benchmark shape.
 with open(os.environ["MICRO_JSON"]) as f:
@@ -90,8 +111,14 @@ for shape in sorted(rows):
 report = {
     "benchmark": "bench_table5_efficiency",
     "metric": "ms_per_epoch",
-    "baseline": baseline_csv or "main@9673e60 (BENCH_PR2 after)",
+    "baseline": baseline_csv or "main@51b820f (BENCH_PR3 after)",
     "models": models,
+    "inference_latency": {
+        "benchmark": "bench_infer_latency",
+        "metric": "single_sequence_forward_ms",
+        "note": "grad-on (tape-building) vs ag::NoGradScope forward",
+        "models": latency,
+    },
     "kernel_isa_sweep": {
         "benchmark": "bench_micro_substrates --benchmark_filter=Isa",
         "metric": "real_time_ns",

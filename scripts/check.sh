@@ -15,6 +15,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== lint: no std::function in kernel / op forward paths =="
+# Node::backward_fn (variable.h) is the one sanctioned std::function on the
+# tape; op forward paths are templated so no-grad forwards never pay a
+# closure allocation, and the tensor kernels dispatch through raw function
+# pointers. The legacy Tensor::Map declaration/definition pair is the only
+# allowed code occurrence under src/tensor. Comment lines don't count.
+tensor_fn=$(grep -rh "std::function" src/tensor/ | grep -cv '^[[:space:]]*//' || true)
+ops_fn=$(grep -h "std::function" src/autograd/ops.cc src/autograd/ops_linalg.cc \
+  | grep -cv '^[[:space:]]*//' || true)
+if [[ "${tensor_fn}" -gt 2 || "${ops_fn}" -gt 0 ]]; then
+  echo "lint FAIL: std::function in a forward path" \
+       "(src/tensor: ${tensor_fn} > 2, src/autograd/ops*.cc: ${ops_fn} > 0)"
+  exit 1
+fi
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . > /dev/null
 cmake --build build -j > /dev/null
@@ -31,16 +46,24 @@ echo "== tier-1: ctest, DIFFODE_KERNEL_ISA=scalar =="
 # fallback on machines without AVX2+FMA.
 (cd build && DIFFODE_KERNEL_ISA=scalar ctest --output-on-failure -j)
 
+echo "== tier-1: grad-off (NoGradScope) matrix entry =="
+# The no-grad forward path must hold its bitwise-equivalence and
+# zero-allocation contracts on both the serial and parallel schedules (the
+# tests internally sweep 1/4 threads and both kernel ISAs as well).
+(cd build && DIFFODE_NUM_THREADS=1 ctest --output-on-failure \
+  -R 'nograd_test|serialize_roundtrip_test')
+(cd build && ctest --output-on-failure -R 'nograd_test|serialize_roundtrip_test')
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: configure + build (-DDIFFODE_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DDIFFODE_SANITIZE=thread > /dev/null
   cmake --build build-tsan -j \
     --target kernels_test trainer_test tensor_test autograd_test \
-             alloc_stats_test > /dev/null
+             alloc_stats_test nograd_test > /dev/null
 
   echo "== tsan: threading-relevant tests, DIFFODE_NUM_THREADS=4 =="
   (cd build-tsan && DIFFODE_NUM_THREADS=4 ctest --output-on-failure \
-    -R 'kernels_test|trainer_test|tensor_test|autograd_test|alloc_stats_test')
+    -R 'kernels_test|trainer_test|tensor_test|autograd_test|alloc_stats_test|nograd_test')
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -50,6 +73,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== asan: configure + build (-DDIFFODE_SANITIZE=address) =="
   cmake -B build-asan -S . -DDIFFODE_SANITIZE=address > /dev/null
   cmake --build build-asan -j > /dev/null
+
+  echo "== asan: NoGradScope eval path =="
+  # Value-only Vars bypass the tape arena entirely; this leg is the gate
+  # that no-grad forwards never read pooled buffers after recycling and
+  # never touch a node that was elided.
+  (cd build-asan && ctest --output-on-failure \
+    -R 'nograd_test|serialize_roundtrip_test')
 
   echo "== asan: full suite =="
   (cd build-asan && ctest --output-on-failure -j)

@@ -7,36 +7,54 @@
 namespace diffode::ag {
 namespace {
 
+// Lets MakeNodeFrom iterate ranges of Vars and of Var pointers alike.
+inline const Var& AsVar(const Var& v) { return v; }
+inline const Var& AsVar(const Var* v) { return *v; }
+
 // Builds a node with the given forward value and parents; requires_grad is
 // inherited from any parent. Nodes come from the thread's tape arena when a
 // scope is active (AllocateNode); parents are taken as an initializer_list
-// or an existing vector so op calls never materialize a temporary
-// std::vector<Var>.
-template <typename ParentRange>
+// of POINTERS or as an existing vector, so op calls never materialize a
+// temporary std::vector<Var> and never copy a Var handle — a brace list of
+// Vars would refcount every parent per op, paid even on the no-grad path
+// where the list is thrown away unread. With grad disabled the node is
+// skipped entirely: the result is a value-only Var, parents are not
+// captured, and the backward closure never materializes. The closure stays
+// in its lambda type until a node actually needs it — converting to
+// Node::backward_fn (std::function) eagerly would heap-allocate closures
+// with tensor captures even on paths that immediately discard them.
+template <typename ParentRange, typename BackwardFn>
 Var MakeNodeFrom(Tensor value, const ParentRange& parents,
-                 std::function<void(Node&)> backward_fn) {
+                 BackwardFn&& backward_fn) {
+  if (!GradMode::IsEnabled()) return Var(std::move(value));
   auto node = AllocateNode();
   node->value = std::move(value);
   node->parents.reserve(parents.size());
   bool needs = false;
-  for (const auto& p : parents) {
+  for (const auto& raw : parents) {
+    const Var& p = AsVar(raw);
     DIFFODE_CHECK(p.defined());
-    node->parents.push_back(p.node());
-    needs = needs || p.node()->requires_grad || p.node()->backward_fn;
+    std::shared_ptr<Node> pn = p.EnsureNode();
+    needs = needs || pn->requires_grad || pn->backward_fn;
+    node->parents.push_back(std::move(pn));
   }
   node->requires_grad = needs;
-  if (needs) node->backward_fn = std::move(backward_fn);
+  if (needs) node->backward_fn = std::forward<BackwardFn>(backward_fn);
   return Var(std::move(node));
 }
 
-Var MakeNode(Tensor value, std::initializer_list<Var> parents,
-             std::function<void(Node&)> backward_fn) {
-  return MakeNodeFrom(std::move(value), parents, std::move(backward_fn));
+template <typename BackwardFn>
+Var MakeNode(Tensor value, std::initializer_list<const Var*> parents,
+             BackwardFn&& backward_fn) {
+  return MakeNodeFrom(std::move(value), parents,
+                      std::forward<BackwardFn>(backward_fn));
 }
 
+template <typename BackwardFn>
 Var MakeNode(Tensor value, const std::vector<Var>& parents,
-             std::function<void(Node&)> backward_fn) {
-  return MakeNodeFrom(std::move(value), parents, std::move(backward_fn));
+             BackwardFn&& backward_fn) {
+  return MakeNodeFrom(std::move(value), parents,
+                      std::forward<BackwardFn>(backward_fn));
 }
 
 void Accumulate(const std::shared_ptr<Node>& n, const Tensor& g) {
@@ -55,21 +73,21 @@ void AccumulateZip(const std::shared_ptr<Node>& n, const Tensor& g,
 }  // namespace
 
 Var Add(const Var& a, const Var& b) {
-  return MakeNode(a.value() + b.value(), {a, b}, [](Node& n) {
+  return MakeNode(a.value() + b.value(), {&a, &b}, [](Node& n) {
     Accumulate(n.parents[0], n.grad);
     Accumulate(n.parents[1], n.grad);
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
-  return MakeNode(a.value() - b.value(), {a, b}, [](Node& n) {
+  return MakeNode(a.value() - b.value(), {&a, &b}, [](Node& n) {
     Accumulate(n.parents[0], n.grad);
     Accumulate(n.parents[1], -n.grad);
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
-  return MakeNode(a.value() * b.value(), {a, b}, [](Node& n) {
+  return MakeNode(a.value() * b.value(), {&a, &b}, [](Node& n) {
     AccumulateZip(n.parents[0], n.grad, n.parents[1]->value,
                   [](Scalar g, Scalar v) { return g * v; });
     AccumulateZip(n.parents[1], n.grad, n.parents[0]->value,
@@ -78,7 +96,7 @@ Var Mul(const Var& a, const Var& b) {
 }
 
 Var Div(const Var& a, const Var& b) {
-  return MakeNode(a.value().CwiseQuotient(b.value()), {a, b}, [](Node& n) {
+  return MakeNode(a.value().CwiseQuotient(b.value()), {&a, &b}, [](Node& n) {
     const Tensor& bv = n.parents[1]->value;
     AccumulateZip(n.parents[0], n.grad, bv,
                   [](Scalar g, Scalar v) { return g / v; });
@@ -92,24 +110,24 @@ Var Div(const Var& a, const Var& b) {
 }
 
 Var AddScalar(const Var& a, Scalar s) {
-  return MakeNode(a.value() + s, {a},
+  return MakeNode(a.value() + s, {&a},
                   [](Node& n) { Accumulate(n.parents[0], n.grad); });
 }
 
 Var MulScalar(const Var& a, Scalar s) {
-  return MakeNode(a.value() * s, {a},
+  return MakeNode(a.value() * s, {&a},
                   [s](Node& n) { Accumulate(n.parents[0], n.grad * s); });
 }
 
 Var Neg(const Var& a) {
-  return MakeNode(-a.value(), {a},
+  return MakeNode(-a.value(), {&a},
                   [](Node& n) { Accumulate(n.parents[0], -n.grad); });
 }
 
 Var DivByScalarVar(const Var& a, const Var& s) {
   DIFFODE_CHECK_EQ(s.value().numel(), 1);
   const Scalar sv = s.value().item();
-  return MakeNode(a.value() * (1.0 / sv), {a, s}, [](Node& n) {
+  return MakeNode(a.value() * (1.0 / sv), {&a, &s}, [](Node& n) {
     const Scalar sv = n.parents[1]->value.item();
     Accumulate(n.parents[0], n.grad * (1.0 / sv));
     // d/ds (a/s) = -a/s^2 = -value/s
@@ -122,7 +140,7 @@ Var DivByScalarVar(const Var& a, const Var& s) {
 Var MulByScalarVar(const Var& a, const Var& s) {
   DIFFODE_CHECK_EQ(s.value().numel(), 1);
   const Scalar sv = s.value().item();
-  return MakeNode(a.value() * sv, {a, s}, [](Node& n) {
+  return MakeNode(a.value() * sv, {&a, &s}, [](Node& n) {
     const Scalar sv = n.parents[1]->value.item();
     Accumulate(n.parents[0], n.grad * sv);
     Tensor gs(n.parents[1]->value.shape());
@@ -132,7 +150,7 @@ Var MulByScalarVar(const Var& a, const Var& s) {
 }
 
 Var MatMul(const Var& a, const Var& b) {
-  return MakeNode(a.value().MatMul(b.value()), {a, b}, [](Node& n) {
+  return MakeNode(a.value().MatMul(b.value()), {&a, &b}, [](Node& n) {
     const Tensor& av = n.parents[0]->value;
     const Tensor& bv = n.parents[1]->value;
     // dA = G B^T, dB = A^T G — transpose-free GEMM variants.
@@ -142,7 +160,7 @@ Var MatMul(const Var& a, const Var& b) {
 }
 
 Var MatMulNT(const Var& a, const Var& b) {
-  return MakeNode(a.value().MatMulTransposed(b.value()), {a, b}, [](Node& n) {
+  return MakeNode(a.value().MatMulTransposed(b.value()), {&a, &b}, [](Node& n) {
     const Tensor& av = n.parents[0]->value;
     const Tensor& bv = n.parents[1]->value;
     // C = A B^T: dA = G B, dB = G^T A.
@@ -152,13 +170,13 @@ Var MatMulNT(const Var& a, const Var& b) {
 }
 
 Var Transpose(const Var& a) {
-  return MakeNode(a.value().Transposed(), {a}, [](Node& n) {
+  return MakeNode(a.value().Transposed(), {&a}, [](Node& n) {
     Accumulate(n.parents[0], n.grad.Transposed());
   });
 }
 
 Var Reshape(const Var& a, Shape shape) {
-  return MakeNode(a.value().Reshaped(std::move(shape)), {a}, [](Node& n) {
+  return MakeNode(a.value().Reshaped(std::move(shape)), {&a}, [](Node& n) {
     Accumulate(n.parents[0], n.grad.Reshaped(n.parents[0]->value.shape()));
   });
 }
@@ -175,7 +193,7 @@ Var AddRowVec(const Var& m, const Var& v) {
     for (Index i = 0; i < r; ++i)
       for (Index j = 0; j < c; ++j) o[i * c + j] += vv[j];
   }
-  return MakeNode(std::move(out), {m, v}, [](Node& n) {
+  return MakeNode(std::move(out), {&m, &v}, [](Node& n) {
     Accumulate(n.parents[0], n.grad);
     Accumulate(n.parents[1], n.grad.ColSums());
   });
@@ -193,7 +211,7 @@ Var MulRowVec(const Var& m, const Var& v) {
     for (Index i = 0; i < r; ++i)
       for (Index j = 0; j < c; ++j) o[i * c + j] *= vv[j];
   }
-  return MakeNode(std::move(out), {m, v}, [](Node& n) {
+  return MakeNode(std::move(out), {&m, &v}, [](Node& n) {
     const Tensor& mv = n.parents[0]->value;
     const Tensor& vv = n.parents[1]->value;
     const Index r = mv.rows();
@@ -242,7 +260,8 @@ Var LayerNormRows(const Var& a, Scalar eps) {
     inv_sigma[i] = inv;
     for (Index j = 0; j < c; ++j) yi[j] = (xi[j] - mean) * inv;
   }
-  return MakeNode(std::move(y), {a}, [inv_sigma](Node& n) {
+  return MakeNode(std::move(y), {&a}, [inv_sigma =
+                                          std::move(inv_sigma)](Node& n) {
     // Per row: dx = (g - mean(g) - y * mean(g .* y)) * inv_sigma.
     const Tensor& y = n.value;
     const Index r = y.rows();
@@ -294,7 +313,7 @@ Var Softmax(const Var& a) {
     const Scalar inv_z = 1.0 / z;
     for (Index j = 0; j < c; ++j) yi[j] *= inv_z;
   }
-  return MakeNode(std::move(y), {a}, [](Node& n) {
+  return MakeNode(std::move(y), {&a}, [](Node& n) {
     // Per row: dx = y .* (g - (g . y))
     const Tensor& y = n.value;
     const Index r = y.rows();
@@ -325,7 +344,7 @@ Var UnaryFromValue(const Var& a, Fwd fwd, Bwd bwd) {
   const Tensor& x = a.value();
   Tensor y = Tensor::Uninit(x.shape());
   kernels::Map(x.numel(), x.data(), y.data(), fwd);
-  return MakeNode(std::move(y), {a}, [bwd](Node& n) {
+  return MakeNode(std::move(y), {&a}, [bwd](Node& n) {
     AccumulateZip(n.parents[0], n.grad, n.value, bwd);
   });
 }
@@ -336,7 +355,7 @@ Var UnaryFromInput(const Var& a, Fwd fwd, Bwd bwd) {
   const Tensor& x = a.value();
   Tensor y = Tensor::Uninit(x.shape());
   kernels::Map(x.numel(), x.data(), y.data(), fwd);
-  return MakeNode(std::move(y), {a}, [bwd](Node& n) {
+  return MakeNode(std::move(y), {&a}, [bwd](Node& n) {
     AccumulateZip(n.parents[0], n.grad, n.parents[0]->value, bwd);
   });
 }
@@ -377,7 +396,7 @@ Var Sqrt(const Var& a) {
 }
 
 Var Square(const Var& a) {
-  return MakeNode(a.value() * a.value(), {a}, [](Node& n) {
+  return MakeNode(a.value() * a.value(), {&a}, [](Node& n) {
     AccumulateZip(n.parents[0], n.grad, n.parents[0]->value,
                   [](Scalar g, Scalar x) { return 2.0 * g * x; });
   });
@@ -413,7 +432,7 @@ Var AddInPlace(const Var& a, const Var& b) {
   Tensor out = Tensor::Uninit(a.value().shape());
   kernels::Zip(out.numel(), a.value().data(), b.value().data(), out.data(),
                [](Scalar x, Scalar y) { return x + y; });
-  return MakeNode(std::move(out), {a, b}, [](Node& n) {
+  return MakeNode(std::move(out), {&a, &b}, [](Node& n) {
     Accumulate(n.parents[0], n.grad);
     Accumulate(n.parents[1], n.grad);
   });
@@ -424,7 +443,7 @@ Var AxpyFused(const Var& y, const Var& k, Scalar h) {
   Tensor out = Tensor::Uninit(y.value().shape());
   kernels::Zip(out.numel(), y.value().data(), k.value().data(), out.data(),
                [h](Scalar yv, Scalar kv) { return yv + kv * h; });
-  return MakeNode(std::move(out), {y, k}, [h](Node& n) {
+  return MakeNode(std::move(out), {&y, &k}, [h](Node& n) {
     Accumulate(n.parents[0], n.grad);
     AccumulateScaled(n.parents[1], n.grad, h);
   });
@@ -450,7 +469,7 @@ Var Rk4Combine(const Var& y, const Var& k1, const Var& k2, const Var& k3,
     for (Index i = 0; i < n; ++i)
       o[i] = yp[i] + h6 * ((p1[i] + 2.0 * p2[i]) + (2.0 * p3[i] + p4[i]));
   }
-  return MakeNode(std::move(out), {y, k1, k2, k3, k4}, [h6](Node& n) {
+  return MakeNode(std::move(out), {&y, &k1, &k2, &k3, &k4}, [h6](Node& n) {
     Accumulate(n.parents[0], n.grad);
     AccumulateScaled(n.parents[1], n.grad, h6);
     AccumulateScaled(n.parents[2], n.grad, 2.0 * h6);
@@ -475,7 +494,7 @@ Var TanhLinear(const Var& x, const Var& w, const Var& b) {
       for (Index j = 0; j < c; ++j) yp[i * c + j] += bp[j];
     kernels::MapTanh(r * c, yp, yp);
   }
-  return MakeNode(std::move(y), {x, w, b}, [](Node& n) {
+  return MakeNode(std::move(y), {&x, &w, &b}, [](Node& n) {
     const Tensor& xv = n.parents[0]->value;
     const Tensor& wv = n.parents[1]->value;
     // gpre = g ⊙ (1 - y²); then gx = gpre·Wᵀ, gW = xᵀ·gpre, gb = colsum.
@@ -491,7 +510,7 @@ Var TanhLinear(const Var& x, const Var& w, const Var& b) {
 Var Sum(const Var& a) {
   Tensor out(Shape{1, 1});
   out[0] = a.value().Sum();
-  return MakeNode(std::move(out), {a}, [](Node& n) {
+  return MakeNode(std::move(out), {&a}, [](Node& n) {
     Accumulate(n.parents[0],
                Tensor::Full(n.parents[0]->value.shape(), n.grad[0]));
   });
@@ -501,7 +520,7 @@ Var Mean(const Var& a) {
   const Scalar inv = 1.0 / static_cast<Scalar>(a.value().numel());
   Tensor out(Shape{1, 1});
   out[0] = a.value().Sum() * inv;
-  return MakeNode(std::move(out), {a}, [inv](Node& n) {
+  return MakeNode(std::move(out), {&a}, [inv](Node& n) {
     Accumulate(n.parents[0],
                Tensor::Full(n.parents[0]->value.shape(), n.grad[0] * inv));
   });
@@ -511,7 +530,7 @@ Var Dot(const Var& a, const Var& b) {
   DIFFODE_CHECK_EQ(a.value().numel(), b.value().numel());
   Tensor out(Shape{1, 1});
   out[0] = a.value().Dot(b.value());
-  return MakeNode(std::move(out), {a, b}, [](Node& n) {
+  return MakeNode(std::move(out), {&a, &b}, [](Node& n) {
     const Scalar g = n.grad[0];
     Accumulate(n.parents[0],
                (n.parents[1]->value * g).Reshaped(n.parents[0]->value.shape()));
@@ -529,7 +548,8 @@ Var ConcatCols(const std::vector<Var>& parts) {
     values.push_back(p.value());
     widths.push_back(p.cols());
   }
-  return MakeNode(Tensor::ConcatCols(values), parts, [widths](Node& n) {
+  return MakeNode(Tensor::ConcatCols(values), parts,
+                  [widths = std::move(widths)](Node& n) {
                     const Index total = n.grad.cols();
                     const Scalar* gp = n.grad.data();
                     Index c = 0;
@@ -556,7 +576,8 @@ Var ConcatRows(const std::vector<Var>& parts) {
     values.push_back(p.value());
     heights.push_back(p.rows());
   }
-  return MakeNode(Tensor::ConcatRows(values), parts, [heights](Node& n) {
+  return MakeNode(Tensor::ConcatRows(values), parts,
+                  [heights = std::move(heights)](Node& n) {
                     Index r = 0;
                     for (std::size_t k = 0; k < heights.size(); ++k) {
                       Accumulate(n.parents[k], n.grad.Rows(r, heights[k]));
@@ -578,7 +599,7 @@ Var SliceCols(const Var& a, Index begin, Index count) {
       for (Index j = 0; j < count; ++j)
         dst[i * count + j] = src[i * total + begin + j];
   }
-  return MakeNode(std::move(out), {a}, [begin, count](Node& n) {
+  return MakeNode(std::move(out), {&a}, [begin, count](Node& n) {
     Tensor g(n.parents[0]->value.shape());
     const Index r = n.grad.rows();
     const Index total = g.cols();
@@ -592,7 +613,7 @@ Var SliceCols(const Var& a, Index begin, Index count) {
 }
 
 Var SliceRows(const Var& a, Index begin, Index count) {
-  return MakeNode(a.value().Rows(begin, count), {a}, [begin, count](Node& n) {
+  return MakeNode(a.value().Rows(begin, count), {&a}, [begin, count](Node& n) {
     Tensor g(n.parents[0]->value.shape());
     const Index c = n.grad.cols();
     std::size_t offset = static_cast<std::size_t>(begin * c);
@@ -609,9 +630,10 @@ Var MseLoss(const Var& pred, const Tensor& target) {
   Tensor diff = pred.value() - target;
   Tensor out(Shape{1, 1});
   out[0] = diff.Dot(diff) * inv;
-  return MakeNode(std::move(out), {pred}, [diff, inv](Node& n) {
-    Accumulate(n.parents[0], diff * (2.0 * inv * n.grad[0]));
-  });
+  return MakeNode(std::move(out), {&pred},
+                  [diff = std::move(diff), inv](Node& n) {
+                    Accumulate(n.parents[0], diff * (2.0 * inv * n.grad[0]));
+                  });
 }
 
 Var MaskedMseLoss(const Var& pred, const Tensor& target, const Tensor& mask) {
@@ -623,9 +645,10 @@ Var MaskedMseLoss(const Var& pred, const Tensor& target, const Tensor& mask) {
   Tensor diff = (pred.value() - target) * mask;
   Tensor out(Shape{1, 1});
   out[0] = diff.Dot(diff) * inv;
-  return MakeNode(std::move(out), {pred}, [diff, inv](Node& n) {
-    Accumulate(n.parents[0], diff * (2.0 * inv * n.grad[0]));
-  });
+  return MakeNode(std::move(out), {&pred},
+                  [diff = std::move(diff), inv](Node& n) {
+                    Accumulate(n.parents[0], diff * (2.0 * inv * n.grad[0]));
+                  });
 }
 
 Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels) {
@@ -660,7 +683,8 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<Index>& labels) {
   }
   Tensor out(Shape{1, 1});
   out[0] = loss / static_cast<Scalar>(b);
-  return MakeNode(std::move(out), {logits}, [probs, labels](Node& n) {
+  return MakeNode(std::move(out), {&logits},
+                  [probs = std::move(probs), labels](Node& n) {
     Tensor g = probs;
     const Scalar scale = n.grad[0] / static_cast<Scalar>(g.rows());
     const Index c = g.cols();

@@ -7,10 +7,12 @@ namespace diffode::ag {
 namespace {
 
 Var MakeInverseNode(const Var& a, Tensor inv) {
-  auto node = std::make_shared<Node>();
+  if (!GradMode::IsEnabled()) return Var(std::move(inv));
+  auto node = AllocateNode();
   node->value = std::move(inv);
-  node->parents = {a.node()};
-  node->requires_grad = a.node()->requires_grad || bool(a.node()->backward_fn);
+  std::shared_ptr<Node> pn = a.EnsureNode();
+  node->requires_grad = pn->requires_grad || bool(pn->backward_fn);
+  node->parents.push_back(std::move(pn));
   if (node->requires_grad) {
     node->backward_fn = [](Node& n) {
       // d/dA of A^{-1}: dA = -A^{-T} G A^{-T}, via the transpose-free GEMMs.

@@ -128,10 +128,15 @@ GradSink::Scope::Scope(GradSink* sink) {
 
 GradSink::Scope::~Scope() { tls_sink = nullptr; }
 
-void Var::Backward() { Backward(Tensor::Ones(node_->value.shape())); }
+void Var::Backward() {
+  DIFFODE_CHECK_MSG(node_ != nullptr,
+                    "Backward on a value-only (no-grad) Var");
+  Backward(Tensor::Ones(node_->value.shape()));
+}
 
 void Var::Backward(const Tensor& seed) {
-  DIFFODE_CHECK(node_ != nullptr);
+  DIFFODE_CHECK_MSG(node_ != nullptr,
+                    "Backward on a value-only (no-grad) Var");
   DIFFODE_CHECK(seed.shape() == node_->value.shape());
   BackwardScratch& s = Scratch();
   const std::uint64_t epoch =

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "autograd/arena.h"
+#include "core/alloc_stats.h"
 #include "tensor/tensor.h"
 
 namespace diffode::ag {
@@ -110,32 +111,145 @@ class GradSink {
 // otherwise. Defined in variable.cc.
 std::shared_ptr<Node> AllocateNode();
 
-// Lightweight handle to a tape node (shared ownership).
+// Per-thread gradient mode. While grad is enabled (the default), every op
+// builds a tape node; with grad disabled, ops return value-only Vars — no
+// node, no parent capture, no backward closure — so a forward pass is pure
+// kernel calls over pooled tensors. Thread-local because data-parallel
+// shards and eval loops toggle it independently per pool thread.
+class GradMode {
+ public:
+  static bool IsEnabled() { return tls_enabled_; }
+  static void SetEnabled(bool enabled) { tls_enabled_ = enabled; }
+
+ private:
+  inline static thread_local bool tls_enabled_ = true;
+};
+
+// RAII grad-off scope for inference / evaluation. Nests: the previous mode
+// is restored on exit, so a NoGradScope inside another is harmless.
+class NoGradScope {
+ public:
+  NoGradScope() : prev_(GradMode::IsEnabled()) { GradMode::SetEnabled(false); }
+  ~NoGradScope() { GradMode::SetEnabled(prev_); }
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Lightweight handle to a tape node (shared ownership), or — in no-grad
+// mode — to a bare value. A value-only Var holds its tensor behind a
+// refcounted holder and never touches the node allocators, so copying one is
+// a refcount bump exactly like copying a node-backed Var (models store Vars
+// in maps and vectors on the hot path; a buffer copy per insert would eat
+// the tape savings). The holder's refcount is deliberately NON-atomic: a
+// no-grad forward churns through thousands of value-only temporaries, all
+// born and destroyed on the thread running that forward, and the atomic
+// inc/dec pairs of a shared_ptr were a measurable slice of the serving
+// forward. The rule this buys into: a value-only Var may move between
+// threads only across a synchronization point (e.g. the trainer joining its
+// eval shards), never be copied concurrently. Long-lived cross-thread state
+// (parameters) is node-backed and keeps shared_ptr semantics.
+//
+// Using a value-only Var as the operand of a grad-mode op wraps it in a
+// fresh constant node (detached-leaf semantics).
 class Var {
  public:
   Var() = default;
   // Nodes that require grad are parameters: long-lived, so they are always
-  // heap-allocated and never touch the (per-step) arena.
-  explicit Var(Tensor value, bool requires_grad = false)
-      : node_(requires_grad ? std::make_shared<Node>() : AllocateNode()) {
-    node_->value = std::move(value);
-    node_->requires_grad = requires_grad;
+  // heap-allocated and never touch the (per-step) arena — even inside a
+  // NoGradScope, so a model can be constructed or loaded under either mode.
+  // Non-parameter wraps become value-only when grad is off.
+  explicit Var(Tensor value, bool requires_grad = false) {
+    if (requires_grad) {
+      node_ = std::make_shared<Node>();
+      node_->value = std::move(value);
+      node_->requires_grad = true;
+    } else if (GradMode::IsEnabled()) {
+      node_ = AllocateNode();
+      node_->value = std::move(value);
+    } else {
+      core::AllocStats::RecordValueOnlyVar();
+      value_ = MakeValueHolder(std::move(value));
+    }
   }
   explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
 
-  bool defined() const { return node_ != nullptr; }
-  const Tensor& value() const { return node_->value; }
-  Tensor& mutable_value() { return node_->value; }
+  Var(const Var& other) : node_(other.node_), value_(other.value_) {
+    if (value_ != nullptr) ++value_->refs;
+  }
+  Var(Var&& other) noexcept
+      : node_(std::move(other.node_)), value_(other.value_) {
+    other.value_ = nullptr;
+  }
+  Var& operator=(const Var& other) {
+    if (this != &other) {
+      ValueHolder* const keep = other.value_;  // self-alias via holder
+      if (keep != nullptr) ++keep->refs;
+      ReleaseValue();
+      node_ = other.node_;
+      value_ = keep;
+    }
+    return *this;
+  }
+  Var& operator=(Var&& other) noexcept {
+    if (this != &other) {
+      ReleaseValue();
+      node_ = std::move(other.node_);
+      value_ = other.value_;
+      other.value_ = nullptr;
+    }
+    return *this;
+  }
+  ~Var() { ReleaseValue(); }
+
+  bool defined() const { return node_ != nullptr || value_ != nullptr; }
+  const Tensor& value() const { return node_ ? node_->value : value_->value; }
+  Tensor& mutable_value() { return node_ ? node_->value : value_->value; }
   Tensor& grad() {
+    DIFFODE_CHECK_MSG(node_ != nullptr,
+                      "grad() on a value-only (no-grad) Var");
     node_->EnsureGrad();
     return node_->grad;
   }
   bool requires_grad() const { return node_ && node_->requires_grad; }
   const std::shared_ptr<Node>& node() const { return node_; }
 
-  Index rows() const { return node_->value.rows(); }
-  Index cols() const { return node_->value.cols(); }
-  const Shape& shape() const { return node_->value.shape(); }
+  // The tape node backing this Var, wrapping a value-only Var in a fresh
+  // constant node. Op construction uses this so detached / no-grad-produced
+  // values can feed a grad-mode graph as constant leaves.
+  std::shared_ptr<Node> EnsureNode() const {
+    if (node_) return node_;
+    auto node = AllocateNode();
+    node->value = value_->value;
+    return node;
+  }
+
+  // A value-only copy of this Var: same forward value, no tape history, so
+  // gradients never flow through it (and downstream no-grad forwards stay
+  // node-free). The detached handle is always durable — backed by pool/heap
+  // storage, never the tape arena — so it survives TapeArena::Reset; a
+  // pool-backed value-only source is shared (refcount bump), everything else
+  // is copied out. The serving entry point together with Module::Freeze().
+  Var Detach() const {
+    Var out;
+    if (node_) {
+      out.value_ = MakeDurableHolder(Tensor(node_->value));
+    } else if (value_ != nullptr) {
+      if (value_->arena_owned) {
+        out.value_ = MakeDurableHolder(Tensor(value_->value));
+      } else {
+        ++value_->refs;
+        out.value_ = value_;
+      }
+    }
+    return out;
+  }
+
+  Index rows() const { return value().rows(); }
+  Index cols() const { return value().cols(); }
+  const Shape& shape() const { return value().shape(); }
 
   // Runs reverse-mode accumulation from this (scalar) node. Seeds the output
   // gradient with 1 (or `seed` if given) and walks the tape in reverse
@@ -155,7 +269,53 @@ class Var {
   }
 
  private:
+  // Intrusive, thread-confined refcount (see the class comment for why it is
+  // not atomic). Starts at 1 for the constructing Var.
+  struct ValueHolder {
+    explicit ValueHolder(Tensor v) : value(std::move(v)) {}
+    Tensor value;
+    std::uint32_t refs = 1;
+    // Memory reclaimed wholesale by TapeArena::Reset rather than freed at
+    // refs == 0 (the destructor still runs then, returning the tensor's
+    // buffer to its pool). Same lifetime rule as tape nodes: every Var into
+    // the arena must be gone before Reset().
+    bool arena_owned = false;
+  };
+
+  // Holder storage is bump-allocated from the thread's tape arena when a
+  // scope is active (one holder per op in a no-grad forward — the arena
+  // gives it away for a pointer bump, exactly as it does for the tape nodes
+  // the no-grad path replaces), else from the BufferPool, else the heap.
+  static ValueHolder* MakeValueHolder(Tensor value) {
+    if (TapeArena* arena = TapeArena::Active()) {
+      void* mem = arena->Allocate(sizeof(ValueHolder), alignof(ValueHolder));
+      auto* h = ::new (mem) ValueHolder(std::move(value));
+      h->arena_owned = true;
+      return h;
+    }
+    return MakeDurableHolder(std::move(value));
+  }
+
+  // A holder that survives TapeArena::Reset (for Detach / serving handles).
+  static ValueHolder* MakeDurableHolder(Tensor value) {
+    void* mem = tensor::BufferPool::Allocate(sizeof(ValueHolder));
+    return ::new (mem) ValueHolder(std::move(value));
+  }
+
+  void ReleaseValue() noexcept {
+    ValueHolder* h = value_;
+    value_ = nullptr;
+    if (h == nullptr || --h->refs != 0) return;
+    const bool arena_owned = h->arena_owned;
+    h->~ValueHolder();  // returns the tensor buffer to its pool
+    if (!arena_owned) tensor::BufferPool::Deallocate(h, sizeof(ValueHolder));
+  }
+
   std::shared_ptr<Node> node_;
+  // Value-only representation (node_ == nullptr): the tensor lives behind a
+  // refcounted holder so Var copies never copy the buffer. Non-null even for
+  // zero-element tensors, so emptiness stays representable.
+  ValueHolder* value_ = nullptr;
 };
 
 // Creates a non-trainable constant node.

@@ -2,24 +2,52 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace diffode::core {
+namespace {
 
-AllocStats::Counters& AllocStats::Raw() {
-  static Counters counters;
-  return counters;
+// Registry of every thread's counter block. Heap-allocated and reachable
+// from a static pointer (immortal, like the buffer pool's depot): worker
+// threads may tear down in any order during process exit, and LeakSanitizer
+// still sees every block as reachable. The mutex guards registration and
+// Read()'s sweep only — never an increment.
+struct Registry {
+  std::mutex mu;
+  std::vector<void*> blocks;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+AllocStats::Counters* AllocStats::RegisterThisThread() {
+  auto* cell = new Counters();
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.blocks.push_back(cell);
+  return cell;
 }
 
 AllocStats::Snapshot AllocStats::Read() {
-  const Counters& c = Raw();
   Snapshot s;
-  s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
-  s.depot_hits = c.depot_hits.load(std::memory_order_relaxed);
-  s.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
-  s.pool_bypass = c.pool_bypass.load(std::memory_order_relaxed);
-  s.arena_nodes = c.arena_nodes.load(std::memory_order_relaxed);
-  s.arena_bytes = c.arena_bytes.load(std::memory_order_relaxed);
-  s.heap_nodes = c.heap_nodes.load(std::memory_order_relaxed);
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (void* block : registry.blocks) {
+    const Counters& c = *static_cast<const Counters*>(block);
+    s.pool_hits += c.pool_hits.load(std::memory_order_relaxed);
+    s.depot_hits += c.depot_hits.load(std::memory_order_relaxed);
+    s.pool_misses += c.pool_misses.load(std::memory_order_relaxed);
+    s.pool_bypass += c.pool_bypass.load(std::memory_order_relaxed);
+    s.arena_nodes += c.arena_nodes.load(std::memory_order_relaxed);
+    s.arena_bytes += c.arena_bytes.load(std::memory_order_relaxed);
+    s.heap_nodes += c.heap_nodes.load(std::memory_order_relaxed);
+    s.value_only_vars += c.value_only_vars.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -33,6 +61,7 @@ AllocStats::Snapshot AllocStats::Delta(const Snapshot& before,
   d.arena_nodes = after.arena_nodes - before.arena_nodes;
   d.arena_bytes = after.arena_bytes - before.arena_bytes;
   d.heap_nodes = after.heap_nodes - before.heap_nodes;
+  d.value_only_vars = after.value_only_vars - before.value_only_vars;
   return d;
 }
 

@@ -12,9 +12,14 @@ namespace diffode::core {
 // and tests assert the steady-state contract (a warm training step performs
 // zero pool misses — no heap allocation on intermediates).
 //
-// Counters are always on: they are relaxed atomic increments, far below the
-// cost of the allocations they replace. The environment variable only gates
-// the trainer's reporting.
+// Counters are always on, so they must be cheap at a per-op call rate. Each
+// thread owns a private, cache-line-aligned counter block and is the only
+// writer to it: increments are relaxed load+store pairs (plain movs on x86,
+// no lock prefix, no cache-line bouncing between pool threads — a shared
+// atomic block was measurable both single-threaded and, worse, across
+// data-parallel shards). Read() sums every thread's block, giving the same
+// monotone process-wide totals as before; blocks outlive their threads so
+// totals never go backwards.
 class AllocStats {
  public:
   struct Snapshot {
@@ -25,19 +30,22 @@ class AllocStats {
     std::uint64_t arena_nodes = 0;  // tape nodes bump-allocated from an arena
     std::uint64_t arena_bytes = 0;  // bytes bump-allocated from arenas
     std::uint64_t heap_nodes = 0;   // tape nodes allocated without an arena
+    std::uint64_t value_only_vars = 0;  // no-grad Vars built without any node
   };
 
-  static void RecordPoolHit() { Inc(Raw().pool_hits); }
-  static void RecordDepotHit() { Inc(Raw().depot_hits); }
-  static void RecordPoolMiss() { Inc(Raw().pool_misses); }
-  static void RecordPoolBypass() { Inc(Raw().pool_bypass); }
-  static void RecordArenaNode() { Inc(Raw().arena_nodes); }
+  static void RecordPoolHit() { Inc(Cell().pool_hits); }
+  static void RecordDepotHit() { Inc(Cell().depot_hits); }
+  static void RecordPoolMiss() { Inc(Cell().pool_misses); }
+  static void RecordPoolBypass() { Inc(Cell().pool_bypass); }
+  static void RecordArenaNode() { Inc(Cell().arena_nodes); }
   static void RecordArenaBytes(std::uint64_t bytes) {
-    Raw().arena_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    Add(Cell().arena_bytes, bytes);
   }
-  static void RecordHeapNode() { Inc(Raw().heap_nodes); }
+  static void RecordHeapNode() { Inc(Cell().heap_nodes); }
+  static void RecordValueOnlyVar() { Inc(Cell().value_only_vars); }
 
-  // Consistent-enough point-in-time read (counters are monotone).
+  // Consistent-enough point-in-time read (counters are monotone): the sum of
+  // every thread's block, including threads that have since exited.
   static Snapshot Read();
 
   // after - before, fieldwise.
@@ -48,7 +56,11 @@ class AllocStats {
   static bool ReportingEnabled();
 
  private:
-  struct Counters {
+  // Single-writer counters: only the owning thread increments, any thread
+  // may read. The atomics exist for tear-free cross-thread reads; writes are
+  // relaxed load+store (not fetch_add), which the single-writer rule makes
+  // exact.
+  struct alignas(64) Counters {
     std::atomic<std::uint64_t> pool_hits{0};
     std::atomic<std::uint64_t> depot_hits{0};
     std::atomic<std::uint64_t> pool_misses{0};
@@ -56,11 +68,23 @@ class AllocStats {
     std::atomic<std::uint64_t> arena_nodes{0};
     std::atomic<std::uint64_t> arena_bytes{0};
     std::atomic<std::uint64_t> heap_nodes{0};
+    std::atomic<std::uint64_t> value_only_vars{0};
   };
 
-  static Counters& Raw();
+  // The calling thread's block (registered with the process-wide list on
+  // first use; the block is immortal so exited threads keep counting toward
+  // Read()'s totals).
+  static Counters& Cell() {
+    thread_local Counters* cell = RegisterThisThread();
+    return *cell;
+  }
+  static Counters* RegisterThisThread();
+
   static void Inc(std::atomic<std::uint64_t>& c) {
-    c.fetch_add(1, std::memory_order_relaxed);
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  static void Add(std::atomic<std::uint64_t>& c, std::uint64_t d) {
+    c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
   }
 };
 

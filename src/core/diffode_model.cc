@@ -118,7 +118,10 @@ DiffOde::Encoded DiffOde::Encode(const data::IrregularSeries& context) const {
   enc.z_mean = ag::MatMul(
       ag::Constant(Tensor::Full(Shape{1, n}, 1.0 / static_cast<Scalar>(n))),
       enc.z);
-  if (config_.use_attention && config_.hoyer_weight > 0.0 && n > 1) {
+  if (config_.use_attention && config_.hoyer_weight > 0.0 && n > 1 &&
+      ag::GradMode::IsEnabled()) {
+    // The Hoyer term only feeds the training loss; under no-grad forwards
+    // (evaluation, serving) it is never read, so skip building it.
     // Maximize the mean Hoyer sparsity of the forward attention rows.
     // Rows of softmax sum to 1, so Hoyer(p) = (√n − 1/‖p‖) / (√n − 1) and
     // the per-row norm is all that's needed.
@@ -250,6 +253,12 @@ std::vector<ag::Var> DiffOde::StatesAt(
   ag::Var y0 = InitialState(enc);
   const bool anchored =
       config_.use_attention && config_.consistency_weight > 0.0;
+  // The consistency MSE itself is a training-only loss term, but the anchor
+  // times it inserts into the grid change how IntegrateVar partitions each
+  // span (the last step is clamped to the remaining distance). Keep the grid
+  // insertion active in every mode and gate only the term computation, so
+  // no-grad forwards stay bitwise identical to grad-on forwards.
+  const bool anchor_terms = anchored && ag::GradMode::IsEnabled();
   // Sort unique query times; integrate a forward chain for t >= 0 and a
   // backward chain for t < 0 (queries before the first observation). When
   // the consistency term is on, the forward chain also visits every
@@ -276,7 +285,7 @@ std::vector<ag::Var> DiffOde::StatesAt(
       y = ode::IntegrateVar(f, y, t_prev, t, options);
       cache[t] = y;
       t_prev = t;
-      if (anchored && anchor_times.count(t)) {
+      if (anchor_terms && anchor_times.count(t)) {
         // Index of this observation in the context.
         const auto it = std::find(enc.norm_times.begin(),
                                   enc.norm_times.end(), t);
@@ -301,7 +310,7 @@ std::vector<ag::Var> DiffOde::StatesAt(
         ++anchor_count;
       }
     }
-    if (anchored && anchor_count > 0) {
+    if (anchor_terms && anchor_count > 0) {
       ag::Var scaled = ag::MulScalar(
           anchor_acc,
           config_.consistency_weight / static_cast<Scalar>(anchor_count));

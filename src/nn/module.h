@@ -33,6 +33,20 @@ class Module {
     for (const auto& p : Params()) n += p.value().numel();
     return n;
   }
+
+  // Marks every parameter as non-trainable and drops any gradient buffers.
+  // A frozen module's forward builds no backward closures even in grad mode
+  // (nothing requires grad), which is the right shape for a model loaded
+  // from a checkpoint to serve predictions. Irreversible by design: thaw by
+  // rebuilding the model.
+  void Freeze() {
+    for (auto& p : Params()) {
+      const auto& node = p.node();
+      if (!node) continue;
+      node->requires_grad = false;
+      node->grad = Tensor();
+    }
+  }
 };
 
 }  // namespace diffode::nn

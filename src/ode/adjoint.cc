@@ -39,6 +39,8 @@ ag::Var StepVar(const DiffOdeFunc& f, Scalar t, const ag::Var& y, Scalar h,
 Tensor ForwardOnly(const DiffOdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
                    const DiffSolveOptions& options) {
   if (t0 == t1) return y0;
+  // Only values are kept, so run the whole sweep tape-free.
+  ag::NoGradScope no_grad;
   const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
   const Scalar h_mag = std::fabs(options.step);
   DIFFODE_CHECK_GT(h_mag, 0.0);
@@ -46,7 +48,6 @@ Tensor ForwardOnly(const DiffOdeFunc& f, Tensor y0, Scalar t0, Scalar t1,
   Tensor y = std::move(y0);
   while (direction * (t1 - t) > 1e-14) {
     const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
-    // One step through a throwaway local graph; only the value is kept.
     y = StepVar(f, t, ag::Constant(y), h, options.method).value();
     t += h;
   }
@@ -57,6 +58,11 @@ AdjointResult AdjointSolve(const DiffOdeFunc& f, const Tensor& y0, Scalar t0,
                            Scalar t1, const Tensor& dl_dy1,
                            const DiffSolveOptions& options) {
   DIFFODE_CHECK(dl_dy1.shape() == y0.shape());
+  // The backward sweep rebuilds per-step graphs and calls Backward on them;
+  // under NoGradScope those graphs would never exist.
+  DIFFODE_CHECK_MSG(ag::GradMode::IsEnabled(),
+                    "AdjointSolve requires grad mode (called under "
+                    "NoGradScope)");
   AdjointResult result;
   if (t0 == t1) {
     result.y1 = y0;
@@ -71,6 +77,7 @@ AdjointResult AdjointSolve(const DiffOdeFunc& f, const Tensor& y0, Scalar t0,
   std::vector<Scalar> ts = {t0};
   std::vector<Tensor> ys = {y0};
   {
+    ag::NoGradScope no_grad;
     Scalar t = t0;
     Tensor y = y0;
     while (direction * (t1 - t) > 1e-14) {

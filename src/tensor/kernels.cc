@@ -24,11 +24,14 @@ constexpr Index kGemmRowGrain = 32;
 
 // Backend for the current ISA. Looked up once per kernel entry so one call
 // never mixes backends even if a test flips SetActiveIsa concurrently.
-const detail::KernelTable* Table() {
+// Everything here inlines to a relaxed load, a compare, and a constant
+// address — this runs on every kernel dispatch, thousands of times per
+// forward pass on the small tensors these models use.
+inline const detail::KernelTable* Table() {
 #if DIFFODE_HAS_AVX2_BUILD
-  if (simd::ActiveIsa() == simd::Isa::kAvx2) return &detail::Avx2Table();
+  if (simd::ActiveIsa() == simd::Isa::kAvx2) return &detail::kAvx2Table;
 #endif
-  return &detail::ScalarTable();
+  return &detail::kScalarTable;
 }
 
 // Row-parallel driver shared by the GEMM variants.

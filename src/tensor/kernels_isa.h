@@ -55,13 +55,17 @@ struct KernelTable {
   void (*exp)(Index n, const Scalar* x, Scalar* out);
 };
 
+// Backend tables are constant-initialized globals (function addresses are
+// address constants), so dispatch in kernels.cc is a compare plus a constant
+// address — no function-local-static guard on the per-op hot path.
+
 // Portable C++ backend; always available.
-const KernelTable& ScalarTable();
+extern const KernelTable kScalarTable;
 
 // AVX2+FMA backend; only linked on x86-64 builds (DIFFODE_HAS_AVX2_BUILD).
 // Callers must gate on simd::BestSupportedIsa() before dispatching to it.
 #if DIFFODE_HAS_AVX2_BUILD
-const KernelTable& Avx2Table();
+extern const KernelTable kAvx2Table;
 #endif
 
 }  // namespace diffode::kernels::detail

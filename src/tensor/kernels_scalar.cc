@@ -172,13 +172,10 @@ void ExpRange(Index n, const Scalar* x, Scalar* out) {
 
 }  // namespace
 
-const KernelTable& ScalarTable() {
-  static const KernelTable table = {
-      GemmPanel,      GemmTNPanel, GemmNTPanel, AxpyRange, AddScaledRange,
-      ScaleRange,     SumRange,    DotRange,    TanhRange, SigmoidRange,
-      ExpRange,
-  };
-  return table;
-}
+constinit const KernelTable kScalarTable = {
+    GemmPanel,      GemmTNPanel, GemmNTPanel, AxpyRange, AddScaledRange,
+    ScaleRange,     SumRange,    DotRange,    TanhRange, SigmoidRange,
+    ExpRange,
+};
 
 }  // namespace diffode::kernels::detail

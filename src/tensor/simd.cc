@@ -17,8 +17,8 @@ bool CpuHasAvx2Fma() {
 }
 
 // Startup resolution: DIFFODE_KERNEL_ISA if set and usable, else the best
-// the hardware offers. Runs exactly once (from the ActiveIsaState local
-// static); warnings go to stderr so a bad override is visible but harmless.
+// the hardware offers. Warnings go to stderr so a bad override is visible
+// but harmless.
 Isa ResolveStartupIsa() {
   const Isa best = BestSupportedIsa();
   const char* env = std::getenv("DIFFODE_KERNEL_ISA");
@@ -38,12 +38,25 @@ Isa ResolveStartupIsa() {
   return best;
 }
 
-std::atomic<Isa>& ActiveIsaState() {
-  static std::atomic<Isa> state{ResolveStartupIsa()};
-  return state;
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_active_isa{-1};
+
+Isa ResolveActiveIsaSlow() {
+  // Publish the startup ISA with a CAS from the unresolved sentinel: if an
+  // explicit SetActiveIsa landed between the caller's fast-path load and
+  // this call, the override wins and startup resolution is discarded. The
+  // local static keeps the stderr warnings to one occurrence.
+  static const Isa startup = ResolveStartupIsa();
+  int expected = -1;
+  g_active_isa.compare_exchange_strong(expected, static_cast<int>(startup),
+                                       std::memory_order_relaxed);
+  return static_cast<Isa>(g_active_isa.load(std::memory_order_relaxed));
 }
 
-}  // namespace
+}  // namespace detail
 
 const char* IsaName(Isa isa) {
   switch (isa) {
@@ -60,11 +73,9 @@ Isa BestSupportedIsa() {
   return best;
 }
 
-Isa ActiveIsa() { return ActiveIsaState().load(std::memory_order_relaxed); }
-
 bool SetActiveIsa(Isa isa) {
   if (isa == Isa::kAvx2 && BestSupportedIsa() != Isa::kAvx2) return false;
-  ActiveIsaState().store(isa, std::memory_order_relaxed);
+  detail::g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
   return true;
 }
 

@@ -1,6 +1,8 @@
 #ifndef DIFFODE_TENSOR_SIMD_H_
 #define DIFFODE_TENSOR_SIMD_H_
 
+#include <atomic>
+
 namespace diffode::simd {
 
 // Instruction-set backends for the kernel layer (tensor/kernels.h). The
@@ -23,11 +25,25 @@ const char* IsaName(Isa isa);
 // Best ISA both this binary and this CPU support (CPUID feature detection).
 Isa BestSupportedIsa();
 
+namespace detail {
+// Current ISA as an int, or -1 before first resolution. Constant-initialized
+// so the fast path of ActiveIsa() is a single relaxed load with no
+// function-local-static guard; kernel dispatch reads it on every entry.
+extern std::atomic<int> g_active_isa;
+// Resolves the startup ISA (CPU detection + DIFFODE_KERNEL_ISA override) and
+// publishes it, unless an explicit SetActiveIsa already won the race.
+Isa ResolveActiveIsaSlow();
+}  // namespace detail
+
 // The ISA the kernel layer is currently dispatching to. Resolved once at
 // startup from BestSupportedIsa() and the DIFFODE_KERNEL_ISA environment
 // override; an override naming an unsupported ISA falls back to scalar with
-// a warning on stderr.
-Isa ActiveIsa();
+// a warning on stderr. Inline: this sits on every kernel dispatch.
+inline Isa ActiveIsa() {
+  const int v = detail::g_active_isa.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Isa>(v);
+  return detail::ResolveActiveIsaSlow();
+}
 
 // Test/bench hook: redirects kernel dispatch to `isa`. Returns false (and
 // changes nothing) if the ISA is not supported on this CPU/build. Not safe

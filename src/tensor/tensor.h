@@ -125,14 +125,42 @@ class Tensor {
   Tensor& operator+=(Scalar v);
   Tensor& operator*=(Scalar v);
 
-  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
-  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
-  friend Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
-  friend Tensor operator+(Tensor a, Scalar v) { return a += v; }
-  friend Tensor operator+(Scalar v, Tensor a) { return a += v; }
-  friend Tensor operator-(Tensor a, Scalar v) { return a += -v; }
-  friend Tensor operator*(Tensor a, Scalar v) { return a *= v; }
-  friend Tensor operator*(Scalar v, Tensor a) { return a *= v; }
+  // `return a;` (not `return a += b;`): the compound assignment yields an
+  // lvalue reference, and returning that expression copies the buffer where
+  // returning the named parameter moves it — one whole buffer copy per
+  // arithmetic op on the autograd hot path.
+  friend Tensor operator+(Tensor a, const Tensor& b) {
+    a += b;
+    return a;
+  }
+  friend Tensor operator-(Tensor a, const Tensor& b) {
+    a -= b;
+    return a;
+  }
+  friend Tensor operator*(Tensor a, const Tensor& b) {
+    a *= b;
+    return a;
+  }
+  friend Tensor operator+(Tensor a, Scalar v) {
+    a += v;
+    return a;
+  }
+  friend Tensor operator+(Scalar v, Tensor a) {
+    a += v;
+    return a;
+  }
+  friend Tensor operator-(Tensor a, Scalar v) {
+    a += -v;
+    return a;
+  }
+  friend Tensor operator*(Tensor a, Scalar v) {
+    a *= v;
+    return a;
+  }
+  friend Tensor operator*(Scalar v, Tensor a) {
+    a *= v;
+    return a;
+  }
   friend Tensor operator/(Tensor a, Scalar v) { return a *= (1.0 / v); }
   Tensor operator-() const;
   Tensor CwiseQuotient(const Tensor& other) const;

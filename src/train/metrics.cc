@@ -16,17 +16,28 @@ void RegressionMetrics::Add(const Tensor& prediction, const Tensor& target,
   DIFFODE_CHECK(prediction.shape() == target.shape());
   DIFFODE_CHECK(prediction.shape() == mask.shape());
   DIFFODE_CHECK_EQ(prediction.cols(), num_channels_);
+  // Walk the three buffers with raw row pointers; at(i, j) re-derives the
+  // offset (and bounds-checks) per element, which dominates this loop on
+  // wide prediction matrices.
+  const Scalar* pred_row = prediction.data();
+  const Scalar* target_row = target.data();
+  const Scalar* mask_row = mask.data();
   for (Index i = 0; i < prediction.rows(); ++i) {
     for (Index j = 0; j < num_channels_; ++j) {
-      if (mask.at(i, j) <= 0) continue;
-      const Scalar err = prediction.at(i, j) - target.at(i, j);
-      abs_sum_[static_cast<std::size_t>(j)] += std::fabs(err);
-      sq_sum_[static_cast<std::size_t>(j)] += err * err;
+      if (mask_row[j] <= 0) continue;
+      const Scalar err = pred_row[j] - target_row[j];
+      const Scalar abs_err = std::fabs(err);
+      const Scalar sq_err = err * err;
+      abs_sum_[static_cast<std::size_t>(j)] += abs_err;
+      sq_sum_[static_cast<std::size_t>(j)] += sq_err;
       counts_[static_cast<std::size_t>(j)] += 1.0;
-      total_abs_ += std::fabs(err);
-      total_sq_ += err * err;
+      total_abs_ += abs_err;
+      total_sq_ += sq_err;
       total_count_ += 1.0;
     }
+    pred_row += num_channels_;
+    target_row += num_channels_;
+    mask_row += num_channels_;
   }
 }
 

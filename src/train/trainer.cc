@@ -112,7 +112,7 @@ void ReportAllocStats(const std::string& model_name, Index epoch,
   std::printf(
       "[%s] alloc epoch %lld: pool_hits=%llu depot_hits=%llu "
       "pool_misses=%llu bypass=%llu arena_nodes=%llu arena_bytes=%llu "
-      "heap_nodes=%llu\n",
+      "heap_nodes=%llu value_only=%llu\n",
       model_name.c_str(), static_cast<long long>(epoch),
       static_cast<unsigned long long>(d.pool_hits),
       static_cast<unsigned long long>(d.depot_hits),
@@ -120,7 +120,8 @@ void ReportAllocStats(const std::string& model_name, Index epoch,
       static_cast<unsigned long long>(d.pool_bypass),
       static_cast<unsigned long long>(d.arena_nodes),
       static_cast<unsigned long long>(d.arena_bytes),
-      static_cast<unsigned long long>(d.heap_nodes));
+      static_cast<unsigned long long>(d.heap_nodes),
+      static_cast<unsigned long long>(d.value_only_vars));
 }
 
 }  // namespace
@@ -135,6 +136,9 @@ Scalar EvaluateAccuracy(core::SequenceModel* model,
     ag::TapeArena::Scope arena_scope;
     tensor::BufferPool::Scope pool_scope;
     {
+      // Evaluation never calls Backward; drop the tape entirely. Grad mode is
+      // thread-local, so the scope must live inside the pool lambda.
+      ag::NoGradScope no_grad;
       const auto& s = split[static_cast<std::size_t>(i)];
       DropStaleAux(model);
       ag::Var logits = model->ClassifyLogits(s);
@@ -239,6 +243,8 @@ Scalar EvaluateMse(core::SequenceModel* model,
     ag::TapeArena::Scope arena_scope;
     tensor::BufferPool::Scope pool_scope;
     [&] {
+      // Evaluation never calls Backward; drop the tape entirely.
+      ag::NoGradScope no_grad;
       Rng rng(seed + static_cast<std::uint64_t>(i) * 1315423911ull);
       data::TaskView view =
           MakeView(split[static_cast<std::size_t>(i)], task, target_frac, rng);

@@ -1,0 +1,175 @@
+// Checkpoint round-trip for the serving path: train a small DIFFODE, save
+// it, reload into a freshly constructed model, freeze, and verify the frozen
+// model reproduces the trained one bitwise under NoGradScope. Also pins the
+// TakeAuxiliaryLoss contract (cleared after read, undefined when absent)
+// across the whole model zoo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "baselines/zoo.h"
+#include "core/diffode_model.h"
+#include "data/generators.h"
+#include "nn/serialize.h"
+#include "tensor/random.h"
+#include "train/trainer.h"
+
+namespace diffode {
+namespace {
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.shape() == b.shape()) << what;
+  for (Index i = 0; i < a.numel(); ++i) {
+    const Scalar av = a[i], bv = b[i];
+    std::uint64_t ia, ib;
+    std::memcpy(&ia, &av, sizeof(ia));
+    std::memcpy(&ib, &bv, sizeof(ib));
+    EXPECT_EQ(ia, ib) << what << " i=" << i << " a=" << av << " b=" << bv;
+  }
+}
+
+core::DiffOdeConfig TinyConfig() {
+  core::DiffOdeConfig config;
+  config.input_dim = 1;
+  config.latent_dim = 8;
+  config.hippo_dim = 6;
+  config.info_dim = 6;
+  config.mlp_hidden = 12;
+  config.num_classes = 2;
+  config.step = 1.0;
+  return config;
+}
+
+data::IrregularSeries TinySeries(std::uint64_t seed) {
+  Rng rng(seed);
+  data::IrregularSeries s;
+  const Index n = 8;
+  s.values = Tensor(Shape{n, 1});
+  s.mask = Tensor::Ones(Shape{n, 1});
+  Scalar t = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    t += rng.Uniform(0.2, 1.0);
+    s.times.push_back(t);
+    s.values.at(i, 0) = std::sin(t) + rng.Normal(0.0, 0.05);
+  }
+  s.label = 0;
+  return s;
+}
+
+std::string CheckpointPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(SerializeRoundtripTest, FrozenReloadMatchesTrainedModelBitwise) {
+  data::SyntheticPeriodicConfig dconfig;
+  dconfig.num_series = 12;
+  dconfig.grid_points = 8;
+  data::Dataset ds = data::MakeSyntheticPeriodic(dconfig);
+
+  core::DiffOde trained(TinyConfig());
+  train::TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 16;
+  options.lr = 1e-3;
+  options.patience = 100;
+  (void)train::TrainClassifier(&trained, ds, options);
+
+  const std::string path = CheckpointPath("diffode_roundtrip.ckpt");
+  auto trained_params = trained.Params();
+  ASSERT_TRUE(nn::SaveParams(trained_params, path));
+
+  // Fresh model, different init seed: every weight must come from the file.
+  core::DiffOdeConfig config2 = TinyConfig();
+  config2.seed = 1234;
+  core::DiffOde served(config2);
+  auto served_params = served.Params();
+  ASSERT_TRUE(nn::LoadParams(&served_params, path));
+  served.Freeze();
+  for (const auto& p : served.Params()) EXPECT_FALSE(p.requires_grad());
+
+  data::IrregularSeries s = TinySeries(21);
+  const std::vector<Scalar> queries = {s.times[3] + 0.1,
+                                       s.times.back() + 0.5};
+  (void)trained.TakeAuxiliaryLoss();
+  Tensor logits_ref = trained.ClassifyLogits(s).value();
+  (void)trained.TakeAuxiliaryLoss();
+  std::vector<Tensor> preds_ref;
+  for (auto& v : trained.PredictAt(s, queries)) preds_ref.push_back(v.value());
+  (void)trained.TakeAuxiliaryLoss();
+
+  ag::NoGradScope no_grad;
+  ExpectBitwiseEqual(served.ClassifyLogits(s).value(), logits_ref, "logits");
+  (void)served.TakeAuxiliaryLoss();
+  std::vector<ag::Var> preds = served.PredictAt(s, queries);
+  (void)served.TakeAuxiliaryLoss();
+  ASSERT_EQ(preds.size(), preds_ref.size());
+  for (std::size_t k = 0; k < preds.size(); ++k)
+    ExpectBitwiseEqual(preds[k].value(), preds_ref[k], "PredictAt");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundtripTest, LoadRejectsArchitectureMismatch) {
+  core::DiffOde a(TinyConfig());
+  const std::string path = CheckpointPath("diffode_mismatch.ckpt");
+  auto a_params = a.Params();
+  ASSERT_TRUE(nn::SaveParams(a_params, path));
+  core::DiffOdeConfig other = TinyConfig();
+  other.latent_dim = 16;  // different shapes
+  core::DiffOde b(other);
+  auto b_params = b.Params();
+  EXPECT_FALSE(nn::LoadParams(&b_params, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundtripTest, FrozenForwardBuildsNoTrainableGraph) {
+  core::DiffOde model(TinyConfig());
+  model.Freeze();
+  data::IrregularSeries s = TinySeries(5);
+  // Even in grad mode, a frozen model's outputs depend on no trainable leaf,
+  // so the root does not require grad and carries no backward closure.
+  ag::Var logits = model.ClassifyLogits(s);
+  (void)model.TakeAuxiliaryLoss();
+  EXPECT_FALSE(logits.requires_grad());
+}
+
+// The TakeAuxiliaryLoss contract, uniformly across the zoo:
+//  - undefined before any forward,
+//  - after a forward, a single Take drains the slot (second Take undefined).
+TEST(SerializeRoundtripTest, TakeAuxiliaryLossContractAcrossZoo) {
+  data::IrregularSeries s = TinySeries(9);
+  std::vector<std::string> names = baselines::BaselineNames();
+  for (const auto& name : names) {
+    baselines::BaselineConfig config;
+    config.input_dim = 1;
+    config.hidden_dim = 8;
+    config.hippo_dim = 6;
+    config.step = 0.5;
+    auto model = baselines::MakeBaseline(name, config);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_FALSE(model->TakeAuxiliaryLoss().defined()) << name;
+    (void)model->ClassifyLogits(s);
+    (void)model->TakeAuxiliaryLoss();  // may or may not be defined
+    EXPECT_FALSE(model->TakeAuxiliaryLoss().defined())
+        << name << ": aux slot not cleared by Take";
+  }
+  // DIFFODE: defined after a grad-on forward (consistency term), cleared by
+  // one Take, and never produced under NoGradScope.
+  core::DiffOde model(TinyConfig());
+  EXPECT_FALSE(model.TakeAuxiliaryLoss().defined());
+  (void)model.ClassifyLogits(s);
+  EXPECT_TRUE(model.TakeAuxiliaryLoss().defined());
+  EXPECT_FALSE(model.TakeAuxiliaryLoss().defined());
+  ag::NoGradScope no_grad;
+  (void)model.ClassifyLogits(s);
+  EXPECT_FALSE(model.TakeAuxiliaryLoss().defined());
+}
+
+}  // namespace
+}  // namespace diffode
