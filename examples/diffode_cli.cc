@@ -9,7 +9,7 @@
 //   diffode_cli train --data=labeled.csv --channels=1 --labels
 //               --task=classification --model=DIFFODE
 //   diffode_cli predict --data=climate.csv --channels=5
-//               --load=weights.bin --at=12.5,14.0
+//               --load=weights.bin --at=12.5,14.0 --batch=32
 //
 // Flags use --key=value form; `diffode_cli help` lists everything.
 
@@ -19,6 +19,7 @@
 #include <string>
 
 #include "baselines/zoo.h"
+#include "core/batch_predictor.h"
 #include "core/diffode_model.h"
 #include "data/csv_loader.h"
 #include "data/generators.h"
@@ -64,6 +65,7 @@ int Usage() {
       "      [--step=0.5] [--save=weights.bin] [--load=weights.bin]\n"
       "  diffode_cli predict --data=<csv> --channels=F --load=weights.bin\n"
       "      --at=<t1,t2,...> [--model=DIFFODE] [--latent=16] [--step=0.5]\n"
+      "      [--batch=N]    # serve N sequences per lockstep batch\n"
       "  diffode_cli models     # list available models\n");
   return 1;
 }
@@ -261,20 +263,43 @@ int RunPredict(const std::map<std::string, std::string>& flags) {
   }
   model->Freeze();
 
+  const Index exec_batch = std::stoll(FlagOr(flags, "batch", "1"));
+  const auto print_row = [&times](std::size_t series_idx,
+                                  const std::vector<Tensor>& preds) {
+    std::printf("series %zu:", series_idx);
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      std::printf("  t=%.3f ->", times[k]);
+      const Tensor& row = preds[k];
+      for (Index j = 0; j < row.cols(); ++j)
+        std::printf(" %.4f", row.at(0, j));
+    }
+    std::printf("\n");
+  };
+
+  if (exec_batch > 1) {
+    // Micro-batched serving: up to --batch sequences per lockstep forward.
+    core::BatchPredictor predictor(model.get(), exec_batch);
+    std::vector<std::pair<std::size_t, Index>> requests;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series[i].length() < 2) continue;
+      requests.emplace_back(i, predictor.Enqueue(series[i], times));
+    }
+    predictor.Flush();
+    for (const auto& [i, id] : requests)
+      print_row(i, predictor.result(id).predictions);
+    return 0;
+  }
+
   ag::NoGradScope no_grad;
   for (std::size_t i = 0; i < series.size(); ++i) {
     if (series[i].length() < 2) continue;
     (void)model->TakeAuxiliaryLoss();
     auto preds = model->PredictAt(series[i], times);
     (void)model->TakeAuxiliaryLoss();
-    std::printf("series %zu:", i);
-    for (std::size_t k = 0; k < preds.size(); ++k) {
-      std::printf("  t=%.3f ->", times[k]);
-      const Tensor& row = preds[k].value();
-      for (Index j = 0; j < row.cols(); ++j)
-        std::printf(" %.4f", row.at(0, j));
-    }
-    std::printf("\n");
+    std::vector<Tensor> rows;
+    rows.reserve(preds.size());
+    for (const ag::Var& p : preds) rows.push_back(p.value());
+    print_row(i, rows);
   }
   return 0;
 }

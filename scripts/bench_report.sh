@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Runs the Table V efficiency benchmark (training-throughput regression
-# check), the new single-sequence inference latency benchmark (the grad-on
-# vs NoGradScope eval speedup), and the kernel ISA micro sweep, then writes
-# BENCH_PR4.json. "Before" defaults to the ms-per-epoch recorded on main
-# after the AVX2 kernel backend (PR 3); point BASELINE_CSV at a saved
-# `bench_table5_efficiency --csv` dump to compare against something else.
+# check), the single-sequence inference latency benchmark (the grad-on vs
+# NoGradScope eval speedup), the lockstep execution-batch sweep (batched
+# seqs/sec vs the per-sequence serving path recorded in BENCH_PR4.json), and
+# the kernel ISA micro sweep, then writes BENCH_PR5.json. "Before" defaults
+# to the ms-per-epoch recorded on main after the AVX2 kernel backend (PR 3);
+# point BASELINE_CSV at a saved `bench_table5_efficiency --csv` dump to
+# compare against something else.
 #
 #   scripts/bench_report.sh                       # build, bench, report
 #   BASELINE_CSV=old.csv scripts/bench_report.sh  # custom baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR4.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 
 cmake -B build -S . > /dev/null
 cmake --build build -j --target bench_table5_efficiency bench_infer_latency \
@@ -67,12 +69,16 @@ for name, ms in after.items():
         entry["improvement_pct"] = round(100.0 * (before[name] - ms) / before[name], 1)
     models.append(entry)
 
-# Inference latency table: grad-on vs NoGradScope per model.
+# Inference latency table (7 columns): grad-on vs NoGradScope per model.
+# Batched-execution sweep (5 columns): model,batch,seqs_per_sec,p50,p95.
 latency = []
+batched = []
 with open(os.environ["INFER_CSV"]) as f:
     for row in csv.reader(f):
-        if len(row) >= 7 and row[0] not in ("table", "model"):
-            try:
+        if row and row[0] in ("table", "model"):
+            continue
+        try:
+            if len(row) >= 7:
                 latency.append({
                     "model": row[0],
                     "grad_p50_ms": float(row[1]),
@@ -82,8 +88,30 @@ with open(os.environ["INFER_CSV"]) as f:
                     "nograd_seqs_per_sec": float(row[5]),
                     "nograd_speedup": float(row[6]),
                 })
-            except ValueError:
-                pass
+            elif len(row) == 5:
+                batched.append({
+                    "model": row[0],
+                    "batch": int(row[1]),
+                    "seqs_per_sec": float(row[2]),
+                    "request_p50_ms": float(row[3]),
+                    "request_p95_ms": float(row[4]),
+                })
+        except ValueError:
+            pass
+
+# Per-sequence NoGradScope throughput recorded before the lockstep engine
+# (BENCH_PR4.json); the batched sweep reports its speedup against these.
+PER_SEQ_BEFORE = {}
+if os.path.exists("BENCH_PR4.json"):
+    with open("BENCH_PR4.json") as f:
+        pr4 = json.load(f)
+    for m in pr4.get("inference_latency", {}).get("models", []):
+        PER_SEQ_BEFORE[m["model"]] = m["nograd_seqs_per_sec"]
+for entry in batched:
+    before_sps = PER_SEQ_BEFORE.get(entry["model"])
+    if before_sps:
+        entry["per_seq_before_seqs_per_sec"] = before_sps
+        entry["speedup_vs_per_seq"] = round(entry["seqs_per_sec"] / before_sps, 2)
 
 # Pair the scalar/avx2 rows of the ISA sweep by benchmark shape.
 with open(os.environ["MICRO_JSON"]) as f:
@@ -118,6 +146,13 @@ report = {
         "metric": "single_sequence_forward_ms",
         "note": "grad-on (tape-building) vs ag::NoGradScope forward",
         "models": latency,
+    },
+    "batched_execution": {
+        "benchmark": "bench_infer_latency (batched sweep)",
+        "metric": "sustained_seqs_per_sec",
+        "note": "lockstep execution batch vs the per-sequence NoGradScope "
+                "path of BENCH_PR4.json; one request = one batch",
+        "rows": batched,
     },
     "kernel_isa_sweep": {
         "benchmark": "bench_micro_substrates --benchmark_filter=Isa",

@@ -54,6 +54,13 @@ echo "== tier-1: grad-off (NoGradScope) matrix entry =="
   -R 'nograd_test|serialize_roundtrip_test')
 (cd build && ctest --output-on-failure -R 'nograd_test|serialize_roundtrip_test')
 
+echo "== tier-1: batched lockstep equivalence, DIFFODE_KERNEL_ISA=scalar =="
+# The lockstep engine must match the per-sequence path (bitwise at B=1) on
+# the scalar backend too; the test internally sweeps both ISAs and 1/4
+# threads, this leg pins the dispatcher itself to scalar.
+(cd build && DIFFODE_KERNEL_ISA=scalar ctest --output-on-failure \
+  -R 'batched_equiv_test')
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: configure + build (-DDIFFODE_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DDIFFODE_SANITIZE=thread > /dev/null
@@ -80,6 +87,12 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # never touch a node that was elided.
   (cd build-asan && ctest --output-on-failure \
     -R 'nograd_test|serialize_roundtrip_test')
+
+  echo "== asan: batched lockstep engine =="
+  # The engine packs/scatters rows through raw kernel copies and row views;
+  # this leg is the gate that no packed block or checkpoint row outlives its
+  # buffer.
+  (cd build-asan && ctest --output-on-failure -R 'batched_equiv_test')
 
   echo "== asan: full suite =="
   (cd build-asan && ctest --output-on-failure -j)

@@ -438,11 +438,28 @@ Var AddInPlace(const Var& a, const Var& b) {
   });
 }
 
+namespace detail {
+
+void AxpyForward(Index n, const Scalar* y, const Scalar* k, Scalar h,
+                 Scalar* out) {
+  kernels::Zip(n, y, k, out, [h](Scalar yv, Scalar kv) { return yv + kv * h; });
+}
+
+void Rk4CombineForward(Index n, const Scalar* y, const Scalar* k1,
+                       const Scalar* k2, const Scalar* k3, const Scalar* k4,
+                       Scalar h, Scalar* out) {
+  const Scalar h6 = h / 6.0;
+  for (Index i = 0; i < n; ++i)
+    out[i] = y[i] + h6 * ((k1[i] + 2.0 * k2[i]) + (2.0 * k3[i] + k4[i]));
+}
+
+}  // namespace detail
+
 Var AxpyFused(const Var& y, const Var& k, Scalar h) {
   DIFFODE_CHECK(y.value().shape() == k.value().shape());
   Tensor out = Tensor::Uninit(y.value().shape());
-  kernels::Zip(out.numel(), y.value().data(), k.value().data(), out.data(),
-               [h](Scalar yv, Scalar kv) { return yv + kv * h; });
+  detail::AxpyForward(out.numel(), y.value().data(), k.value().data(), h,
+                      out.data());
   return MakeNode(std::move(out), {&y, &k}, [h](Node& n) {
     Accumulate(n.parents[0], n.grad);
     AccumulateScaled(n.parents[1], n.grad, h);
@@ -458,17 +475,9 @@ Var Rk4Combine(const Var& y, const Var& k1, const Var& k2, const Var& k3,
   DIFFODE_CHECK(k4.value().shape() == shape);
   const Scalar h6 = h / 6.0;
   Tensor out = Tensor::Uninit(shape);
-  {
-    const Index n = out.numel();
-    const Scalar* yp = y.value().data();
-    const Scalar* p1 = k1.value().data();
-    const Scalar* p2 = k2.value().data();
-    const Scalar* p3 = k3.value().data();
-    const Scalar* p4 = k4.value().data();
-    Scalar* o = out.data();
-    for (Index i = 0; i < n; ++i)
-      o[i] = yp[i] + h6 * ((p1[i] + 2.0 * p2[i]) + (2.0 * p3[i] + p4[i]));
-  }
+  detail::Rk4CombineForward(out.numel(), y.value().data(), k1.value().data(),
+                            k2.value().data(), k3.value().data(),
+                            k4.value().data(), h, out.data());
   return MakeNode(std::move(out), {&y, &k1, &k2, &k3, &k4}, [h6](Node& n) {
     Accumulate(n.parents[0], n.grad);
     AccumulateScaled(n.parents[1], n.grad, h6);

@@ -71,6 +71,18 @@ Var Rk4Combine(const Var& y, const Var& k1, const Var& k2, const Var& k3,
 // tanh(x·W + b) with b a 1 x c row vector: the tanh-MLP hidden-layer step.
 Var TanhLinear(const Var& x, const Var& w, const Var& b);
 
+namespace detail {
+// The forward arithmetic of AxpyFused / Rk4Combine as plain range functions.
+// The lockstep batched stepper (ode/lockstep.cc) calls these per state row so
+// a batched step is the same machine code — hence bitwise identical — as the
+// per-sequence unroll, independent of compiler FP-contraction choices.
+void AxpyForward(Index n, const Scalar* y, const Scalar* k, Scalar h,
+                 Scalar* out);
+void Rk4CombineForward(Index n, const Scalar* y, const Scalar* k1,
+                       const Scalar* k2, const Scalar* k3, const Scalar* k4,
+                       Scalar h, Scalar* out);
+}  // namespace detail
+
 // Reductions to a 1x1 Var.
 Var Sum(const Var& a);
 Var Mean(const Var& a);

@@ -1,0 +1,69 @@
+#include "core/batch_predictor.h"
+
+#include <utility>
+
+namespace diffode::core {
+
+BatchPredictor::BatchPredictor(SequenceModel* model, Index max_batch)
+    : dispatch_(model), max_batch_(max_batch) {
+  DIFFODE_CHECK_GT(max_batch_, 0);
+}
+
+Index BatchPredictor::Enqueue(const data::IrregularSeries& series,
+                              std::vector<Scalar> times) {
+  const Index id = static_cast<Index>(results_.size());
+  results_.emplace_back();
+  done_.push_back(false);
+  pending_.push_back(Pending{id, &series, std::move(times)});
+  if (static_cast<Index>(pending_.size()) >= max_batch_) Flush();
+  return id;
+}
+
+void BatchPredictor::Flush() {
+  if (pending_.empty()) return;
+  std::vector<const Pending*> cls;
+  std::vector<const Pending*> reg;
+  for (const Pending& p : pending_)
+    (p.times.empty() ? cls : reg).push_back(&p);
+  if (!cls.empty()) {
+    std::vector<const data::IrregularSeries*> series;
+    series.reserve(cls.size());
+    for (const Pending* p : cls) series.push_back(p->series);
+    const data::SequenceBatch batch = data::MakeSequenceBatch(series);
+    const Tensor logits = dispatch_.ClassifyLogitsBatched(batch);
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+      Result& res = results_[static_cast<std::size_t>(cls[i]->id)];
+      res.logits = logits.Row(static_cast<Index>(i));
+      done_[static_cast<std::size_t>(cls[i]->id)] = true;
+    }
+  }
+  if (!reg.empty()) {
+    std::vector<const data::IrregularSeries*> series;
+    std::vector<std::vector<Scalar>> times;
+    series.reserve(reg.size());
+    times.reserve(reg.size());
+    for (const Pending* p : reg) {
+      series.push_back(p->series);
+      times.push_back(p->times);
+    }
+    const data::SequenceBatch batch = data::MakeSequenceBatch(series);
+    std::vector<std::vector<Tensor>> preds =
+        dispatch_.PredictAtBatched(batch, times);
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+      Result& res = results_[static_cast<std::size_t>(reg[i]->id)];
+      res.predictions = std::move(preds[i]);
+      done_[static_cast<std::size_t>(reg[i]->id)] = true;
+    }
+  }
+  pending_.clear();
+}
+
+const BatchPredictor::Result& BatchPredictor::result(Index id) const {
+  DIFFODE_CHECK_GE(id, 0);
+  DIFFODE_CHECK_LT(id, static_cast<Index>(results_.size()));
+  DIFFODE_CHECK_MSG(done_[static_cast<std::size_t>(id)],
+                    "BatchPredictor::result before its Flush");
+  return results_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace diffode::core

@@ -1,0 +1,45 @@
+#include "core/batched_model.h"
+
+#include "autograd/variable.h"
+
+namespace diffode::core {
+
+BatchedDispatch::BatchedDispatch(SequenceModel* model)
+    : model_(model), native_(dynamic_cast<BatchedSequenceModel*>(model)) {}
+
+Tensor BatchedDispatch::ClassifyLogitsBatched(
+    const data::SequenceBatch& batch) {
+  if (native_) return native_->ClassifyLogitsBatched(batch);
+  ag::NoGradScope no_grad;
+  Tensor out;
+  for (Index r = 0; r < batch.batch; ++r) {
+    (void)model_->TakeAuxiliaryLoss();
+    const ag::Var logits =
+        model_->ClassifyLogits(*batch.series[static_cast<std::size_t>(r)]);
+    (void)model_->TakeAuxiliaryLoss();
+    if (r == 0) out = Tensor(Shape{batch.batch, logits.cols()});
+    out.SetRow(r, logits.value());
+  }
+  return out;
+}
+
+std::vector<std::vector<Tensor>> BatchedDispatch::PredictAtBatched(
+    const data::SequenceBatch& batch,
+    const std::vector<std::vector<Scalar>>& times) {
+  if (native_) return native_->PredictAtBatched(batch, times);
+  ag::NoGradScope no_grad;
+  std::vector<std::vector<Tensor>> out(static_cast<std::size_t>(batch.batch));
+  for (Index r = 0; r < batch.batch; ++r) {
+    (void)model_->TakeAuxiliaryLoss();
+    const std::vector<ag::Var> preds = model_->PredictAt(
+        *batch.series[static_cast<std::size_t>(r)],
+        times[static_cast<std::size_t>(r)]);
+    (void)model_->TakeAuxiliaryLoss();
+    auto& rows = out[static_cast<std::size_t>(r)];
+    rows.reserve(preds.size());
+    for (const ag::Var& p : preds) rows.push_back(p.value());
+  }
+  return out;
+}
+
+}  // namespace diffode::core

@@ -98,6 +98,13 @@ DiffOde::Encoded DiffOde::Encode(const data::IrregularSeries& context) const {
   } else {
     enc.z = mlp_encoder_->Forward(ag::Constant(inputs));
   }
+  BuildContexts(&enc);
+  return enc;
+}
+
+void DiffOde::BuildContexts(Encoded* enc_ptr) const {
+  Encoded& enc = *enc_ptr;
+  const Index n = enc.z.rows();
   if (config_.use_attention) {
     const Index dh = config_.latent_dim / config_.num_heads;
     for (Index hidx = 0; hidx < config_.num_heads; ++hidx) {
@@ -140,7 +147,6 @@ DiffOde::Encoded DiffOde::Encode(const data::IrregularSeries& context) const {
     ag::Var term = ag::MulScalar(one_minus_hoyer, config_.hoyer_weight);
     AddAuxiliaryLoss(term);
   }
-  return enc;
 }
 
 void DiffOde::AddAuxiliaryLoss(const ag::Var& term) const {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/batched_model.h"
 #include "core/config.h"
 #include "core/dhs.h"
 #include "core/sequence_model.h"
@@ -29,13 +30,22 @@ namespace diffode::core {
 // ablation) must have the per-sequence length n, so they are produced by
 // tiny trained linear maps applied row-wise to Z — the trained-vector
 // semantics of the paper generalized to variable-length sequences.
-class DiffOde : public SequenceModel {
+class DiffOde : public SequenceModel, public BatchedSequenceModel {
  public:
   explicit DiffOde(const DiffOdeConfig& config);
 
   ag::Var ClassifyLogits(const data::IrregularSeries& context) override;
   std::vector<ag::Var> PredictAt(const data::IrregularSeries& context,
                                  const std::vector<Scalar>& times) override;
+  // Lockstep batched forwards (diffode_batched.cc): all sequences advance
+  // together along their own per-sequence step timelines, so the shared
+  // MLPs (phi, f_r, heads) run at GEMM shape m = B while the per-sequence
+  // DHS recoveries replay the exact per-sequence arithmetic. Serving/eval
+  // only: runs under its own NoGradScope.
+  Tensor ClassifyLogitsBatched(const data::SequenceBatch& batch) override;
+  std::vector<std::vector<Tensor>> PredictAtBatched(
+      const data::SequenceBatch& batch,
+      const std::vector<std::vector<Scalar>>& times) override;
   void CollectParams(std::vector<ag::Var>* out) const override;
   std::string name() const override { return "DIFFODE"; }
   // Takes (and clears) the aux loss accumulated by forwards on the *calling*
@@ -77,6 +87,18 @@ class DiffOde : public SequenceModel {
   };
 
   Encoded Encode(const data::IrregularSeries& context) const;
+  // Everything Encode builds after the latent matrix Z: the per-head DHS
+  // contexts, free vectors, z_mean, and (grad mode only) the Hoyer term.
+  // Shared by the per-sequence and batched encoders.
+  void BuildContexts(Encoded* enc) const;
+  // Per-row encodings with the GRU recurrence advanced in lockstep across
+  // the batch (diffode_batched.cc).
+  std::vector<Encoded> EncodeBatched(const data::SequenceBatch& batch) const;
+  // States for every (row, query-time) pair via one lockstep integration;
+  // out[r][k] is the 1 x StateDim() state of row r at norm_queries[r][k].
+  std::vector<std::vector<Tensor>> BatchedStatesAt(
+      const std::vector<Encoded>& encs,
+      const std::vector<std::vector<Scalar>>& norm_queries) const;
   // Augmented initial state [S | c | r] (or [c | r] without attention).
   ag::Var InitialState(const Encoded& enc) const;
   // Augmented dynamics closure over the encoded context.

@@ -1,0 +1,150 @@
+#include "ode/lockstep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/kernels.h"
+
+namespace diffode::ode {
+namespace {
+
+// Per-row stage combination through the shared forward-arithmetic range
+// functions of the per-sequence integrator (ops.cc), sliced at each row's
+// own step size. Stage buffers are plain Tensors reused across iterations.
+struct StageBuffers {
+  Tensor stage;            // packed stage states (a x d)
+  std::vector<Scalar> tt;  // packed stage times
+};
+
+void AxpyRows(const Tensor& y, const Tensor& k, const std::vector<Scalar>& h,
+              Scalar h_factor, Index a, Index d, Tensor* out) {
+  for (Index i = 0; i < a; ++i)
+    ag::detail::AxpyForward(d, y.data() + i * d, k.data() + i * d,
+                            h_factor * h[static_cast<std::size_t>(i)],
+                            out->data() + i * d);
+}
+
+}  // namespace
+
+void AppendSegment(RowPlan* plan, Scalar t0, Scalar t1, Scalar step) {
+  if (t0 == t1) return;
+  const Scalar direction = t1 >= t0 ? 1.0 : -1.0;
+  const Scalar h_mag = std::fabs(step);
+  DIFFODE_CHECK_GT(h_mag, 0.0);
+  Scalar t = t0;
+  while (direction * (t1 - t) > 1e-14) {
+    const Scalar h = direction * std::min(h_mag, std::fabs(t1 - t));
+    plan->steps.push_back(RowStep{t, h});
+    t += h;
+  }
+}
+
+void AppendCheckpoint(RowPlan* plan, Index tag) {
+  plan->checkpoints.push_back(
+      RowCheckpoint{static_cast<Index>(plan->steps.size()), tag});
+}
+
+void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
+                       const BatchedRhs& rhs, const LockstepEventFn& on_event,
+                       Tensor* y) {
+  const Index b = static_cast<Index>(plans.size());
+  DIFFODE_CHECK_EQ(y->rows(), b);
+  const Index d = y->cols();
+  std::vector<Index> steps_done(static_cast<std::size_t>(b), 0);
+  std::vector<std::size_t> next_cp(static_cast<std::size_t>(b), 0);
+
+  std::vector<LockstepEvent> events;
+  std::vector<Index> active;
+  std::vector<Scalar> t0, h;
+  Tensor packed, k1, k2, k3, k4;
+  StageBuffers bufs;
+
+  for (;;) {
+    // Fire due checkpoints first — one per row per wave, so several
+    // checkpoints at the same step index apply in tag order (matching the
+    // per-sequence interleave of jumps and readouts at coincident times).
+    for (;;) {
+      events.clear();
+      for (Index r = 0; r < b; ++r) {
+        const auto& cps = plans[static_cast<std::size_t>(r)].checkpoints;
+        std::size_t& cp = next_cp[static_cast<std::size_t>(r)];
+        if (cp < cps.size() &&
+            cps[cp].after_steps == steps_done[static_cast<std::size_t>(r)]) {
+          events.push_back(LockstepEvent{r, cps[cp].tag});
+          ++cp;
+        }
+      }
+      if (events.empty()) break;
+      on_event(events, y);
+    }
+
+    // Pack the rows that still have steps to take.
+    active.clear();
+    t0.clear();
+    h.clear();
+    for (Index r = 0; r < b; ++r) {
+      const auto& steps = plans[static_cast<std::size_t>(r)].steps;
+      const Index done = steps_done[static_cast<std::size_t>(r)];
+      if (done < static_cast<Index>(steps.size())) {
+        active.push_back(r);
+        t0.push_back(steps[static_cast<std::size_t>(done)].t);
+        h.push_back(steps[static_cast<std::size_t>(done)].h);
+      }
+    }
+    if (active.empty()) return;
+    const Index a = static_cast<Index>(active.size());
+    packed = Tensor::Uninit(Shape{a, d});
+    kernels::SelectRows(a, d, active.data(), y->data(), packed.data());
+
+    // One step per active row, same stage structure and stage-time
+    // expressions as the per-sequence EulerStep/MidpointStep/Rk4Step.
+    bufs.tt.resize(static_cast<std::size_t>(a));
+    switch (method) {
+      case DiffMethod::kEuler: {
+        k1 = rhs(active, t0, packed);
+        AxpyRows(packed, k1, h, 1.0, a, d, &packed);
+        break;
+      }
+      case DiffMethod::kMidpoint: {
+        k1 = rhs(active, t0, packed);
+        bufs.stage = Tensor::Uninit(Shape{a, d});
+        AxpyRows(packed, k1, h, 0.5, a, d, &bufs.stage);
+        for (Index i = 0; i < a; ++i)
+          bufs.tt[static_cast<std::size_t>(i)] =
+              t0[static_cast<std::size_t>(i)] +
+              0.5 * h[static_cast<std::size_t>(i)];
+        k2 = rhs(active, bufs.tt, bufs.stage);
+        AxpyRows(packed, k2, h, 1.0, a, d, &packed);
+        break;
+      }
+      case DiffMethod::kRk4: {
+        k1 = rhs(active, t0, packed);
+        bufs.stage = Tensor::Uninit(Shape{a, d});
+        AxpyRows(packed, k1, h, 0.5, a, d, &bufs.stage);
+        for (Index i = 0; i < a; ++i)
+          bufs.tt[static_cast<std::size_t>(i)] =
+              t0[static_cast<std::size_t>(i)] +
+              0.5 * h[static_cast<std::size_t>(i)];
+        k2 = rhs(active, bufs.tt, bufs.stage);
+        AxpyRows(packed, k2, h, 0.5, a, d, &bufs.stage);
+        k3 = rhs(active, bufs.tt, bufs.stage);
+        AxpyRows(packed, k3, h, 1.0, a, d, &bufs.stage);
+        for (Index i = 0; i < a; ++i)
+          bufs.tt[static_cast<std::size_t>(i)] =
+              t0[static_cast<std::size_t>(i)] + h[static_cast<std::size_t>(i)];
+        k4 = rhs(active, bufs.tt, bufs.stage);
+        for (Index i = 0; i < a; ++i)
+          ag::detail::Rk4CombineForward(
+              d, packed.data() + i * d, k1.data() + i * d, k2.data() + i * d,
+              k3.data() + i * d, k4.data() + i * d,
+              h[static_cast<std::size_t>(i)], packed.data() + i * d);
+        break;
+      }
+    }
+    kernels::ScatterRows(a, d, active.data(), packed.data(), y->data());
+    for (Index r : active) ++steps_done[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace diffode::ode

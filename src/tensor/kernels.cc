@@ -144,4 +144,19 @@ void MapExp(Index n, const Scalar* x, Scalar* out) {
   RunMap(Table()->exp, n, x, out);
 }
 
+void MaskedRowUpdate(Index rows, Index cols, const unsigned char* mask,
+                     const Scalar* src, Scalar* dst) {
+  Table()->masked_row_update(rows, cols, mask, src, dst);
+}
+
+void SelectRows(Index count, Index cols, const Index* rows, const Scalar* src,
+                Scalar* dst) {
+  Table()->select_rows(count, cols, rows, src, dst);
+}
+
+void ScatterRows(Index count, Index cols, const Index* rows, const Scalar* src,
+                 Scalar* dst) {
+  Table()->scatter_rows(count, cols, rows, src, dst);
+}
+
 }  // namespace diffode::kernels

@@ -80,6 +80,23 @@ void MapTanh(Index n, const Scalar* x, Scalar* out);
 void MapSigmoid(Index n, const Scalar* x, Scalar* out);
 void MapExp(Index n, const Scalar* x, Scalar* out);
 
+// Batched-row movement for the lockstep execution engine (docs/performance.md
+// "Execution batching"). All three are pure row copies — no arithmetic — so
+// every backend produces bitwise-identical results; the AVX2 backend only
+// widens the moves. Serial: a serving batch is at most a few hundred rows.
+//
+// dst[r] = src[r] for every row whose mask byte is non-zero (a masked jump
+// costs a row copy, not a branch per element); masked-off rows untouched.
+void MaskedRowUpdate(Index rows, Index cols, const unsigned char* mask,
+                     const Scalar* src, Scalar* dst);
+// dst[i] = src[rows[i]]: gather `count` rows of a (· x cols) matrix into a
+// packed (count x cols) block.
+void SelectRows(Index count, Index cols, const Index* rows, const Scalar* src,
+                Scalar* dst);
+// dst[rows[i]] = src[i]: scatter a packed (count x cols) block back.
+void ScatterRows(Index count, Index cols, const Index* rows, const Scalar* src,
+                 Scalar* dst);
+
 namespace ops {
 
 // Named elementwise functors. kernels::Map recognizes these types at

@@ -453,12 +453,43 @@ void ExpRangeAvx2(Index n, const double* x, double* out) {
   MapRange<ExpPd>(n, x, out);
 }
 
+// Batched-row movement: vector-wide copies with a masked tail. Copies carry
+// bits unchanged, so these match the scalar backend bitwise.
+inline void CopyRowAvx2(Index cols, const double* s, double* d) {
+  Index j = 0;
+  for (; j + 4 <= cols; j += 4)
+    _mm256_storeu_pd(d + j, _mm256_loadu_pd(s + j));
+  if (j < cols) {
+    const __m256i mask = TailMask(cols - j);
+    _mm256_maskstore_pd(d + j, mask, _mm256_maskload_pd(s + j, mask));
+  }
+}
+
+void MaskedRowUpdateRowsAvx2(Index rows, Index cols, const unsigned char* mask,
+                             const double* src, double* dst) {
+  for (Index r = 0; r < rows; ++r)
+    if (mask[r]) CopyRowAvx2(cols, src + r * cols, dst + r * cols);
+}
+
+void SelectRowsRangeAvx2(Index count, Index cols, const Index* rows,
+                         const double* src, double* dst) {
+  for (Index i = 0; i < count; ++i)
+    CopyRowAvx2(cols, src + rows[i] * cols, dst + i * cols);
+}
+
+void ScatterRowsRangeAvx2(Index count, Index cols, const Index* rows,
+                          const double* src, double* dst) {
+  for (Index i = 0; i < count; ++i)
+    CopyRowAvx2(cols, src + i * cols, dst + rows[i] * cols);
+}
+
 }  // namespace
 
 constinit const KernelTable kAvx2Table = {
     GemmPanelAvx2,   GemmTNPanelAvx2, GemmNTPanelAvx2, AxpyRangeAvx2,
     AddScaledRangeAvx2, ScaleRangeAvx2, SumRangeAvx2,  DotRangeAvx2,
     TanhRangeAvx2,   SigmoidRangeAvx2, ExpRangeAvx2,
+    MaskedRowUpdateRowsAvx2, SelectRowsRangeAvx2, ScatterRowsRangeAvx2,
 };
 
 }  // namespace diffode::kernels::detail

@@ -53,6 +53,17 @@ struct KernelTable {
   void (*tanh)(Index n, const Scalar* x, Scalar* out);
   void (*sigmoid)(Index n, const Scalar* x, Scalar* out);
   void (*exp)(Index n, const Scalar* x, Scalar* out);
+
+  // Batched-row movement (serial; pure copies, so bitwise on any backend).
+  // dst[r] = src[r] for rows whose mask byte is non-zero; others untouched.
+  void (*masked_row_update)(Index rows, Index cols, const unsigned char* mask,
+                            const Scalar* src, Scalar* dst);
+  // dst[i] = src[rows[i]] — gather `count` rows into a packed block.
+  void (*select_rows)(Index count, Index cols, const Index* rows,
+                      const Scalar* src, Scalar* dst);
+  // dst[rows[i]] = src[i] — scatter a packed block back.
+  void (*scatter_rows)(Index count, Index cols, const Index* rows,
+                       const Scalar* src, Scalar* dst);
 };
 
 // Backend tables are constant-initialized globals (function addresses are

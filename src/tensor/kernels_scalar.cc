@@ -170,12 +170,43 @@ void ExpRange(Index n, const Scalar* x, Scalar* out) {
   for (Index i = 0; i < n; ++i) out[i] = std::exp(x[i]);
 }
 
+// Batched-row movement. Pure copies (no arithmetic), so every backend is
+// bitwise identical by construction; the AVX2 versions only widen the moves.
+void MaskedRowUpdateRows(Index rows, Index cols, const unsigned char* mask,
+                         const Scalar* src, Scalar* dst) {
+  for (Index r = 0; r < rows; ++r) {
+    if (!mask[r]) continue;
+    const Scalar* s = src + r * cols;
+    Scalar* d = dst + r * cols;
+    for (Index j = 0; j < cols; ++j) d[j] = s[j];
+  }
+}
+
+void SelectRowsRange(Index count, Index cols, const Index* rows,
+                     const Scalar* src, Scalar* dst) {
+  for (Index i = 0; i < count; ++i) {
+    const Scalar* s = src + rows[i] * cols;
+    Scalar* d = dst + i * cols;
+    for (Index j = 0; j < cols; ++j) d[j] = s[j];
+  }
+}
+
+void ScatterRowsRange(Index count, Index cols, const Index* rows,
+                      const Scalar* src, Scalar* dst) {
+  for (Index i = 0; i < count; ++i) {
+    const Scalar* s = src + i * cols;
+    Scalar* d = dst + rows[i] * cols;
+    for (Index j = 0; j < cols; ++j) d[j] = s[j];
+  }
+}
+
 }  // namespace
 
 constinit const KernelTable kScalarTable = {
     GemmPanel,      GemmTNPanel, GemmNTPanel, AxpyRange, AddScaledRange,
     ScaleRange,     SumRange,    DotRange,    TanhRange, SigmoidRange,
-    ExpRange,
+    ExpRange,       MaskedRowUpdateRows,      SelectRowsRange,
+    ScatterRowsRange,
 };
 
 }  // namespace diffode::kernels::detail

@@ -15,7 +15,11 @@ inline constexpr Scalar kMseReportScale = 100.0;
 
 struct TrainOptions {
   Index epochs = 30;
-  Index batch_size = 16;       // 128 cls / 32 regression in the paper
+  // Minibatch (gradient) size: how many sequences contribute to one
+  // optimizer step (128 cls / 32 regression in the paper). Distinct from the
+  // *execution batch* used by the lockstep inference engine — see
+  // core/batched_model.h and docs/performance.md, "Execution batching".
+  Index batch_size = 16;
   Scalar lr = 1e-3;            // paper: 1e-3
   Scalar weight_decay = 1e-3;  // paper: 1e-3
   Index patience = 20;         // paper: early stop after 20 stale epochs

@@ -1,0 +1,348 @@
+// Lockstep batched execution (core/batched_model.h) vs the per-sequence
+// path: random irregular grids, B in {1, 3, 8}, both kernel backends, 1 and
+// 4 threads. Batched results must match per-sequence within 1e-10 relative;
+// at B = 1 every kernel call collapses to the per-sequence shape and the
+// match must be bitwise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "baselines/zoo.h"
+#include "core/batch_predictor.h"
+#include "core/batched_model.h"
+#include "core/diffode_model.h"
+#include "core/parallel.h"
+#include "data/generators.h"
+#include "data/sequence_batch.h"
+#include "tensor/random.h"
+#include "tensor/simd.h"
+
+namespace diffode {
+namespace {
+
+struct IsaGuard {
+  explicit IsaGuard(simd::Isa isa) : prev(simd::ActiveIsa()) {
+    EXPECT_TRUE(simd::SetActiveIsa(isa));
+  }
+  ~IsaGuard() { simd::SetActiveIsa(prev); }
+  simd::Isa prev;
+};
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int n) { parallel::ThreadPool::SetNumThreads(n); }
+  ~ThreadCountGuard() { parallel::ThreadPool::SetNumThreads(0); }
+};
+
+std::vector<simd::Isa> SupportedIsas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::BestSupportedIsa() == simd::Isa::kAvx2)
+    isas.push_back(simd::Isa::kAvx2);
+  return isas;
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.shape() == b.shape()) << what;
+  for (Index i = 0; i < a.numel(); ++i) {
+    const Scalar av = a[i], bv = b[i];
+    std::uint64_t ia, ib;
+    std::memcpy(&ia, &av, sizeof(ia));
+    std::memcpy(&ib, &bv, sizeof(ib));
+    EXPECT_EQ(ia, ib) << what << " i=" << i << " a=" << av << " b=" << bv;
+  }
+}
+
+void ExpectClose(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.shape() == b.shape()) << what;
+  for (Index i = 0; i < a.numel(); ++i) {
+    const Scalar tol = 1e-10 * std::max(1.0, std::fabs(b[i]));
+    EXPECT_NEAR(a[i], b[i], tol) << what << " i=" << i;
+  }
+}
+
+// Random irregular series: random length, random gaps, partially observed
+// channels (every row keeps at least one observed channel so the encoding
+// stays informative, though nothing in the batched path requires that).
+data::IrregularSeries MakeSeries(std::uint64_t seed, Index features = 2) {
+  Rng rng(seed);
+  data::IrregularSeries s;
+  const Index n = 6 + static_cast<Index>(rng.Uniform(0.0, 6.0));
+  s.values = Tensor(Shape{n, features});
+  s.mask = Tensor(Shape{n, features});
+  Scalar t = rng.Uniform(0.0, 0.3);
+  for (Index i = 0; i < n; ++i) {
+    t += rng.Uniform(0.1, 0.9);
+    s.times.push_back(t);
+    Index observed = 0;
+    for (Index j = 0; j < features; ++j) {
+      if (rng.Uniform(0.0, 1.0) < 0.75) {
+        s.mask.at(i, j) = 1.0;
+        ++observed;
+      }
+      s.values.at(i, j) =
+          std::sin(t + static_cast<Scalar>(j)) + rng.Normal(0.0, 0.1);
+    }
+    if (observed == 0) s.mask.at(i, i % features) = 1.0;
+  }
+  s.label = static_cast<Index>(seed % 2);
+  return s;
+}
+
+std::vector<data::IrregularSeries> MakeBatchSeries(Index b,
+                                                   std::uint64_t seed0) {
+  std::vector<data::IrregularSeries> out;
+  out.reserve(static_cast<std::size_t>(b));
+  for (Index r = 0; r < b; ++r)
+    out.push_back(MakeSeries(seed0 + static_cast<std::uint64_t>(r)));
+  return out;
+}
+
+// Query times per sequence: before the context window (backward chain),
+// inside it, past its end, plus an unsorted duplicate.
+std::vector<std::vector<Scalar>> MakeQueryTimes(
+    const std::vector<data::IrregularSeries>& series) {
+  std::vector<std::vector<Scalar>> times;
+  times.reserve(series.size());
+  for (const data::IrregularSeries& s : series) {
+    const Scalar lo = s.times.front(), hi = s.times.back();
+    times.push_back({hi + 0.7, lo - 0.4, 0.5 * (lo + hi), lo - 0.4});
+  }
+  return times;
+}
+
+core::DiffOdeConfig SmallConfig() {
+  core::DiffOdeConfig config;
+  config.input_dim = 2;
+  config.latent_dim = 8;
+  config.hippo_dim = 6;
+  config.info_dim = 6;
+  config.mlp_hidden = 12;
+  config.num_classes = 3;
+  config.step = 0.5;
+  return config;
+}
+
+baselines::BaselineConfig SmallBaselineConfig() {
+  baselines::BaselineConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = 10;
+  config.mlp_hidden = 12;
+  config.num_classes = 3;
+  config.step = 0.5;
+  return config;
+}
+
+// Compares the batched forwards of `model` against its per-sequence path on
+// a B-sequence batch. Bitwise at B = 1, 1e-10 relative otherwise.
+void CheckModel(core::SequenceModel* model, Index b, std::uint64_t seed,
+                bool expect_native) {
+  const std::vector<data::IrregularSeries> series = MakeBatchSeries(b, seed);
+  std::vector<const data::IrregularSeries*> ptrs;
+  for (const auto& s : series) ptrs.push_back(&s);
+  const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+  const std::vector<std::vector<Scalar>> times = MakeQueryTimes(series);
+
+  core::BatchedDispatch dispatch(model);
+  EXPECT_EQ(dispatch.native(), expect_native);
+  const Tensor logits = dispatch.ClassifyLogitsBatched(batch);
+  const std::vector<std::vector<Tensor>> preds =
+      dispatch.PredictAtBatched(batch, times);
+
+  ag::NoGradScope no_grad;
+  for (Index r = 0; r < b; ++r) {
+    const data::IrregularSeries& s = series[static_cast<std::size_t>(r)];
+    const Tensor ref_logits = model->ClassifyLogits(s).value();
+    (void)model->TakeAuxiliaryLoss();
+    if (b == 1) {
+      ExpectBitwiseEqual(logits.Row(r), ref_logits, "logits");
+    } else {
+      ExpectClose(logits.Row(r), ref_logits, "logits");
+    }
+    const std::vector<ag::Var> ref_preds =
+        model->PredictAt(s, times[static_cast<std::size_t>(r)]);
+    (void)model->TakeAuxiliaryLoss();
+    ASSERT_EQ(preds[static_cast<std::size_t>(r)].size(), ref_preds.size());
+    for (std::size_t k = 0; k < ref_preds.size(); ++k) {
+      if (b == 1) {
+        ExpectBitwiseEqual(preds[static_cast<std::size_t>(r)][k],
+                           ref_preds[k].value(), "pred");
+      } else {
+        ExpectClose(preds[static_cast<std::size_t>(r)][k],
+                    ref_preds[k].value(), "pred");
+      }
+    }
+  }
+}
+
+TEST(SequenceBatchTest, UnionGridAndPaddingInvariants) {
+  const std::vector<data::IrregularSeries> series = MakeBatchSeries(5, 11);
+  std::vector<const data::IrregularSeries*> ptrs;
+  for (const auto& s : series) ptrs.push_back(&s);
+  const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+  ASSERT_EQ(batch.batch, 5);
+  // Union grid is sorted-unique and covers every observation exactly once.
+  for (Index u = 1; u < batch.union_size(); ++u)
+    EXPECT_LT(batch.union_times[static_cast<std::size_t>(u - 1)],
+              batch.union_times[static_cast<std::size_t>(u)]);
+  for (Index r = 0; r < batch.batch; ++r) {
+    const data::IrregularSeries& s = *ptrs[static_cast<std::size_t>(r)];
+    Index seen = 0;
+    for (Index u = 0; u < batch.union_size(); ++u) {
+      if (!batch.IsMember(u, r)) {
+        EXPECT_EQ(batch.ObsIndex(u, r), -1);
+        continue;
+      }
+      const Index i = batch.ObsIndex(u, r);
+      EXPECT_EQ(s.times[static_cast<std::size_t>(i)],
+                batch.union_times[static_cast<std::size_t>(u)]);
+      ++seen;
+      // Padded row view holds the same numbers as the source series.
+      for (Index j = 0; j < batch.features; ++j) {
+        EXPECT_EQ(batch.values.at(r * batch.max_len + i, j), s.values.at(i, j));
+        EXPECT_EQ(batch.mask.at(r * batch.max_len + i, j), s.mask.at(i, j));
+      }
+      EXPECT_EQ(batch.row_mask[static_cast<std::size_t>(r * batch.max_len + i)],
+                1);
+    }
+    EXPECT_EQ(seen, s.length());
+    for (Index i = s.length(); i < batch.max_len; ++i)
+      EXPECT_EQ(batch.row_mask[static_cast<std::size_t>(r * batch.max_len + i)],
+                0);
+  }
+}
+
+TEST(BatchedEquivTest, DiffOdeMatchesPerSequence) {
+  for (simd::Isa isa : SupportedIsas()) {
+    IsaGuard ig(isa);
+    for (int threads : {1, 4}) {
+      ThreadCountGuard tg(threads);
+      core::DiffOde model(SmallConfig());
+      for (Index b : {1, 3, 8}) CheckModel(&model, b, 100 + b, true);
+    }
+  }
+}
+
+TEST(BatchedEquivTest, DiffOdeVariantsMatchPerSequence) {
+  // Strategy / head / encoder / attention variants, one pass each at B = 3
+  // (and B = 1 for the bitwise guarantee) on the active backend.
+  std::vector<core::DiffOdeConfig> configs;
+  {
+    core::DiffOdeConfig c = SmallConfig();
+    c.pt_strategy = sparsity::PtStrategy::kMinNorm;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = SmallConfig();
+    c.pt_strategy = sparsity::PtStrategy::kAdaH;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = SmallConfig();
+    c.head = core::OutputHead::kDirect;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = SmallConfig();
+    c.use_attention = false;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = SmallConfig();
+    c.encoder = core::EncoderType::kMlp;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = SmallConfig();
+    c.num_heads = 2;
+    configs.push_back(c);
+  }
+  std::uint64_t seed = 300;
+  for (const core::DiffOdeConfig& config : configs) {
+    core::DiffOde model(config);
+    CheckModel(&model, 1, seed += 17, true);
+    CheckModel(&model, 3, seed += 17, true);
+  }
+}
+
+TEST(BatchedEquivTest, OdeRnnMatchesPerSequence) {
+  for (simd::Isa isa : SupportedIsas()) {
+    IsaGuard ig(isa);
+    for (int threads : {1, 4}) {
+      ThreadCountGuard tg(threads);
+      auto model = baselines::MakeBaseline("ODE-RNN", SmallBaselineConfig());
+      for (Index b : {1, 3, 8}) CheckModel(model.get(), b, 500 + b, true);
+    }
+  }
+}
+
+TEST(BatchedEquivTest, GruDMatchesPerSequence) {
+  for (simd::Isa isa : SupportedIsas()) {
+    IsaGuard ig(isa);
+    for (int threads : {1, 4}) {
+      ThreadCountGuard tg(threads);
+      auto model = baselines::MakeBaseline("GRU-D", SmallBaselineConfig());
+      for (Index b : {1, 3, 8}) CheckModel(model.get(), b, 700 + b, true);
+    }
+  }
+}
+
+TEST(BatchedEquivTest, FallbackLoopServesNonLockstepModels) {
+  // Plain GRU has no native lockstep engine; BatchedDispatch must serve it
+  // through the per-sequence loop with identical (bitwise) results.
+  auto model = baselines::MakeBaseline("GRU", SmallBaselineConfig());
+  for (Index b : {1, 3}) {
+    const std::vector<data::IrregularSeries> series = MakeBatchSeries(b, 900);
+    std::vector<const data::IrregularSeries*> ptrs;
+    for (const auto& s : series) ptrs.push_back(&s);
+    const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+    core::BatchedDispatch dispatch(model.get());
+    EXPECT_FALSE(dispatch.native());
+    const Tensor logits = dispatch.ClassifyLogitsBatched(batch);
+    ag::NoGradScope no_grad;
+    for (Index r = 0; r < b; ++r)
+      ExpectBitwiseEqual(
+          logits.Row(r),
+          model->ClassifyLogits(*ptrs[static_cast<std::size_t>(r)]).value(),
+          "fallback logits");
+  }
+}
+
+TEST(BatchPredictorTest, MicroBatchesMixedRequests) {
+  core::DiffOde model(SmallConfig());
+  const std::vector<data::IrregularSeries> series = MakeBatchSeries(6, 40);
+  core::BatchPredictor predictor(&model, /*max_batch=*/4);
+  EXPECT_TRUE(predictor.native());
+  std::vector<Index> cls_ids, reg_ids;
+  std::vector<std::vector<Scalar>> reg_times;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i % 2 == 0) {
+      cls_ids.push_back(predictor.Enqueue(series[i]));
+    } else {
+      std::vector<Scalar> times = {series[i].times.back() + 0.5,
+                                   series[i].times.front() - 0.25};
+      reg_ids.push_back(predictor.Enqueue(series[i], times));
+      reg_times.push_back(std::move(times));
+    }
+  }
+  predictor.Flush();
+  EXPECT_EQ(predictor.pending(), 0);
+  ag::NoGradScope no_grad;
+  for (std::size_t i = 0; i < cls_ids.size(); ++i) {
+    const Tensor ref = model.ClassifyLogits(series[2 * i]).value();
+    ExpectClose(predictor.result(cls_ids[i]).logits, ref, "served logits");
+  }
+  for (std::size_t i = 0; i < reg_ids.size(); ++i) {
+    const std::vector<ag::Var> ref =
+        model.PredictAt(series[2 * i + 1], reg_times[i]);
+    const auto& got = predictor.result(reg_ids[i]).predictions;
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      ExpectClose(got[k], ref[k].value(), "served prediction");
+  }
+}
+
+}  // namespace
+}  // namespace diffode
