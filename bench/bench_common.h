@@ -34,7 +34,7 @@ inline Scale GetScale() {
 }
 
 // Multiplier applied to sample counts / epochs.
-inline double ScaleFactor(Scale scale) {
+inline Scalar ScaleFactor(Scale scale) {
   switch (scale) {
     case Scale::kTiny:
       return 0.35;
@@ -47,8 +47,8 @@ inline double ScaleFactor(Scale scale) {
 }
 
 inline Index Scaled(Index base) {
-  const double f = ScaleFactor(GetScale());
-  return std::max<Index>(2, static_cast<Index>(base * f));
+  const Scalar f = ScaleFactor(GetScale());
+  return std::max<Index>(2, static_cast<Index>(static_cast<Scalar>(base) * f));
 }
 
 // Independent training seeds per (model, task) cell; the paper reports

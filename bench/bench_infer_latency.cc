@@ -10,6 +10,7 @@
 // union-grid construction included).
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "autograd/arena.h"
@@ -17,6 +18,7 @@
 #include "core/batched_model.h"
 #include "data/sequence_batch.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/simd.h"
 
 namespace diffode::bench {
 namespace {
@@ -174,7 +176,7 @@ int Main(int argc, char** argv) {
     auto model = MakeModel(name, spec);
     core::BatchedDispatch dispatch(model.get());
     for (Index batch : kBatchSizes) {
-      const Index requests = std::max<Index>(4, repeats / batch);
+      const Index requests = std::max<Index>(16, repeats / batch);  // floor: stable p50/p95 at large B
       const LatencyStats stats =
           MeasureBatched(&dispatch, ds.test, batch, requests);
       if (csv) {
@@ -185,6 +187,53 @@ int Main(int argc, char** argv) {
         std::printf("%-16s %6lld %12.1f %12.3fms %12.3fms\n", name,
                     static_cast<long long>(batch), stats.seqs_per_sec,
                     stats.p50_ms, stats.p95_ms);
+      }
+    }
+  }
+  // Serving precision sweep: the same DIFFODE weights frozen at f64 vs f32
+  // (the f32 tier of diffode_f32.cc), across the lockstep batch sizes. ISA
+  // and precision columns let the perf trajectory distinguish
+  // f32-vs-f64 and avx2-vs-avx512 rows (scripts/bench_report.sh).
+  const char* isa_name = simd::IsaName(simd::ActiveIsa());
+  if (csv) {
+    std::printf(
+        "table,Serving precision sweep\n"
+        "model,precision,isa,batch,seqs_per_sec,p50_ms,p95_ms\n");
+  } else {
+    std::printf("\n=== Serving precision sweep (DIFFODE, isa=%s) ===\n",
+                isa_name);
+    std::printf("%-10s %6s %12s %14s %14s\n", "precision", "batch",
+                "seqs/sec", "req p50", "req p95");
+  }
+  // Batch-major, precision-minor: the f64 and f32 cells of one batch size
+  // run back to back, so the pair shares the same thermal/frequency regime
+  // and their ratio is meaningful even on a drifting host.
+  std::vector<std::unique_ptr<core::SequenceModel>> precision_models;
+  std::vector<std::unique_ptr<core::BatchedDispatch>> precision_dispatch;
+  for (const Precision precision : {Precision::kF64, Precision::kF32}) {
+    ModelSpec spec;
+    spec.input_dim = ds.num_features;
+    spec.step = 1.0;
+    precision_models.push_back(MakeModel("DIFFODE", spec));
+    precision_models.back()->Freeze(precision);
+    precision_dispatch.push_back(std::make_unique<core::BatchedDispatch>(
+        precision_models.back().get()));
+  }
+  for (Index batch : kBatchSizes) {
+    const Index requests = std::max<Index>(16, repeats / batch);  // floor: stable p50/p95 at large B
+    for (std::size_t pi = 0; pi < 2; ++pi) {
+      const Precision precision = pi == 0 ? Precision::kF64 : Precision::kF32;
+      const LatencyStats stats = MeasureBatched(precision_dispatch[pi].get(),
+                                                ds.test, batch, requests);
+      if (csv) {
+        std::printf("DIFFODE,%s,%s,%lld,%.1f,%.3f,%.3f\n",
+                    PrecisionName(precision), isa_name,
+                    static_cast<long long>(batch), stats.seqs_per_sec,
+                    stats.p50_ms, stats.p95_ms);
+      } else {
+        std::printf("%-10s %6lld %12.1f %12.3fms %12.3fms\n",
+                    PrecisionName(precision), static_cast<long long>(batch),
+                    stats.seqs_per_sec, stats.p50_ms, stats.p95_ms);
       }
     }
   }

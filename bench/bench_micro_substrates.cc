@@ -258,7 +258,11 @@ BENCHMARK(BM_TensorAllocPooled)->Arg(1 << 8)->Arg(1 << 14);
 // scripts/bench_report.sh pairs the rows into the BENCH_PR3 speedup table.
 
 simd::Isa IsaArg(benchmark::State& state) {
-  return state.range(0) == 0 ? simd::Isa::kScalar : simd::Isa::kAvx2;
+  switch (state.range(0)) {
+    case 0: return simd::Isa::kScalar;
+    case 1: return simd::Isa::kAvx2;
+    default: return simd::Isa::kAvx512;
+  }
 }
 
 // Sets the requested ISA for the benchmark body; restores on destruction.
@@ -290,12 +294,16 @@ BENCHMARK(BM_GemmIsa)
     ->ArgNames({"isa", "m", "k", "n"})
     ->Args({0, 1, 64, 192})      // GRU gate projection, one observation
     ->Args({1, 1, 64, 192})
+    ->Args({2, 1, 64, 192})
     ->Args({0, 32, 64, 192})     // GRU gates, batched encoder sweep
     ->Args({1, 32, 64, 192})
+    ->Args({2, 32, 64, 192})
     ->Args({0, 32, 64, 64})      // MLP head layer
     ->Args({1, 32, 64, 64})
+    ->Args({2, 32, 64, 64})
     ->Args({0, 128, 128, 128})   // square reference point
-    ->Args({1, 128, 128, 128});
+    ->Args({1, 128, 128, 128})
+    ->Args({2, 128, 128, 128});
 
 void BM_GemmTNIsa(benchmark::State& state) {
   BenchIsaScope isa(state);
@@ -314,8 +322,10 @@ BENCHMARK(BM_GemmTNIsa)
     ->ArgNames({"isa", "m", "k", "n"})
     ->Args({0, 64, 128, 64})     // xᵀ·g weight-gradient shape
     ->Args({1, 64, 128, 64})
+    ->Args({2, 64, 128, 64})
     ->Args({0, 128, 128, 128})
-    ->Args({1, 128, 128, 128});
+    ->Args({1, 128, 128, 128})
+    ->Args({2, 128, 128, 128});
 
 void BM_GemmNTIsa(benchmark::State& state) {
   BenchIsaScope isa(state);
@@ -334,8 +344,10 @@ BENCHMARK(BM_GemmNTIsa)
     ->ArgNames({"isa", "m", "k", "n"})
     ->Args({0, 128, 32, 128})    // attention scores z·zᵀ, d=32
     ->Args({1, 128, 32, 128})
+    ->Args({2, 128, 32, 128})
     ->Args({0, 128, 64, 128})    // attention scores, d=64
-    ->Args({1, 128, 64, 128});
+    ->Args({1, 128, 64, 128})
+    ->Args({2, 128, 64, 128});
 
 void BM_MapTanhIsa(benchmark::State& state) {
   BenchIsaScope isa(state);
@@ -353,8 +365,10 @@ BENCHMARK(BM_MapTanhIsa)
     ->ArgNames({"isa", "n"})
     ->Args({0, 1 << 12})
     ->Args({1, 1 << 12})
+    ->Args({2, 1 << 12})
     ->Args({0, 1 << 16})
-    ->Args({1, 1 << 16});
+    ->Args({1, 1 << 16})
+    ->Args({2, 1 << 16});
 
 void BM_MapExpIsa(benchmark::State& state) {
   BenchIsaScope isa(state);
@@ -372,8 +386,10 @@ BENCHMARK(BM_MapExpIsa)
     ->ArgNames({"isa", "n"})
     ->Args({0, 1 << 12})
     ->Args({1, 1 << 12})
+    ->Args({2, 1 << 12})
     ->Args({0, 1 << 16})
-    ->Args({1, 1 << 16});
+    ->Args({1, 1 << 16})
+    ->Args({2, 1 << 16});
 
 // Masked-row movement for the lockstep batched engine: MaskedRowUpdate with
 // a full mask vs a half-empty one (the mask skips the copy, so a sparse wave
@@ -399,10 +415,13 @@ BENCHMARK(BM_MaskedRowUpdateIsa)
     ->ArgNames({"isa", "rows", "cols", "full"})
     ->Args({0, 32, 48, 1})     // B=32 serving batch, packed DIFFODE state
     ->Args({1, 32, 48, 1})
+    ->Args({2, 32, 48, 1})
     ->Args({0, 32, 48, 0})     // half the rows masked off
     ->Args({1, 32, 48, 0})
+    ->Args({2, 32, 48, 0})
     ->Args({0, 256, 128, 1})   // wide reference point
-    ->Args({1, 256, 128, 1});
+    ->Args({1, 256, 128, 1})
+    ->Args({2, 256, 128, 1});
 
 void BM_SelectScatterRowsIsa(benchmark::State& state) {
   BenchIsaScope isa(state);
@@ -423,8 +442,10 @@ BENCHMARK(BM_SelectScatterRowsIsa)
     ->ArgNames({"isa", "rows", "cols"})
     ->Args({0, 32, 48})
     ->Args({1, 32, 48})
+    ->Args({2, 32, 48})
     ->Args({0, 256, 128})
-    ->Args({1, 256, 128});
+    ->Args({1, 256, 128})
+    ->Args({2, 256, 128});
 
 void BM_DhsDerivative(benchmark::State& state) {
   const Index n = state.range(0);

@@ -66,6 +66,7 @@ int Usage() {
       "  diffode_cli predict --data=<csv> --channels=F --load=weights.bin\n"
       "      --at=<t1,t2,...> [--model=DIFFODE] [--latent=16] [--step=0.5]\n"
       "      [--batch=N]    # serve N sequences per lockstep batch\n"
+      "      [--precision=<f64|f32>]  # f32: frozen float serving tier\n"
       "  diffode_cli models     # list available models\n");
   return 1;
 }
@@ -261,7 +262,15 @@ int RunPredict(const std::map<std::string, std::string>& flags) {
                  load.c_str());
     return 1;
   }
-  model->Freeze();
+  const std::string precision_name = FlagOr(flags, "precision", "f64");
+  if (precision_name != "f64" && precision_name != "f32") {
+    std::fprintf(stderr, "unknown --precision=%s (f64|f32)\n",
+                 precision_name.c_str());
+    return 1;
+  }
+  const Precision precision =
+      precision_name == "f32" ? Precision::kF32 : Precision::kF64;
+  model->Freeze(precision);
 
   const Index exec_batch = std::stoll(FlagOr(flags, "batch", "1"));
   const auto print_row = [&times](std::size_t series_idx,
@@ -276,8 +285,10 @@ int RunPredict(const std::map<std::string, std::string>& flags) {
     std::printf("\n");
   };
 
-  if (exec_batch > 1) {
+  if (exec_batch > 1 || precision == Precision::kF32) {
     // Micro-batched serving: up to --batch sequences per lockstep forward.
+    // f32 always takes this path — the float engine lives behind the
+    // batched forwards; the per-sequence Var path below is f64-only.
     core::BatchPredictor predictor(model.get(), exec_batch);
     std::vector<std::pair<std::size_t, Index>> requests;
     for (std::size_t i = 0; i < series.size(); ++i) {

@@ -2,18 +2,20 @@
 # Runs the Table V efficiency benchmark (training-throughput regression
 # check), the single-sequence inference latency benchmark (the grad-on vs
 # NoGradScope eval speedup), the lockstep execution-batch sweep (batched
-# seqs/sec vs the per-sequence serving path recorded in BENCH_PR4.json), and
-# the kernel ISA micro sweep, then writes BENCH_PR5.json. "Before" defaults
-# to the ms-per-epoch recorded on main after the AVX2 kernel backend (PR 3);
-# point BASELINE_CSV at a saved `bench_table5_efficiency --csv` dump to
-# compare against something else.
+# seqs/sec vs the per-sequence serving path recorded in BENCH_PR4.json), the
+# serving-precision sweep (the same DIFFODE weights frozen at f64 vs f32,
+# with the dispatched kernel ISA recorded per row), and the kernel ISA micro
+# sweep (scalar / avx2 / avx512), then writes BENCH_PR6.json. "Before"
+# defaults to the ms-per-epoch recorded on main after the AVX2 kernel
+# backend (PR 3); point BASELINE_CSV at a saved
+# `bench_table5_efficiency --csv` dump to compare against something else.
 #
 #   scripts/bench_report.sh                       # build, bench, report
 #   BASELINE_CSV=old.csv scripts/bench_report.sh  # custom baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR6.json}"
 
 cmake -B build -S . > /dev/null
 cmake --build build -j --target bench_table5_efficiency bench_infer_latency \
@@ -34,7 +36,7 @@ import csv, json, os
 
 # ms/epoch measured on main (commit 51b820f) at the default bench scale,
 # after the AVX2+FMA kernel backend (the BENCH_PR3.json "after" column).
-# The grad-mode refactor must not regress these by more than 2%.
+# The dtype-generic substrate must not regress these by more than 2%.
 DEFAULT_BEFORE = {
     "ContiFormer": 11.0,
     "HiPPO-obs": 3.8,
@@ -69,16 +71,24 @@ for name, ms in after.items():
         entry["improvement_pct"] = round(100.0 * (before[name] - ms) / before[name], 1)
     models.append(entry)
 
-# Inference latency table (7 columns): grad-on vs NoGradScope per model.
-# Batched-execution sweep (5 columns): model,batch,seqs_per_sec,p50,p95.
+# bench_infer_latency emits three `table,<name>` sections; dispatch rows on
+# the section, not the column count (the latency table and the precision
+# sweep are both 7 columns wide).
 latency = []
 batched = []
+precision = []
+table = ""
 with open(os.environ["INFER_CSV"]) as f:
     for row in csv.reader(f):
-        if row and row[0] in ("table", "model"):
+        if not row:
+            continue
+        if row[0] == "table":
+            table = row[1] if len(row) > 1 else ""
+            continue
+        if row[0] in ("model", "precision"):
             continue
         try:
-            if len(row) >= 7:
+            if table == "Inference latency" and len(row) >= 7:
                 latency.append({
                     "model": row[0],
                     "grad_p50_ms": float(row[1]),
@@ -88,13 +98,23 @@ with open(os.environ["INFER_CSV"]) as f:
                     "nograd_seqs_per_sec": float(row[5]),
                     "nograd_speedup": float(row[6]),
                 })
-            elif len(row) == 5:
+            elif table == "Batched execution" and len(row) >= 5:
                 batched.append({
                     "model": row[0],
                     "batch": int(row[1]),
                     "seqs_per_sec": float(row[2]),
                     "request_p50_ms": float(row[3]),
                     "request_p95_ms": float(row[4]),
+                })
+            elif table == "Serving precision sweep" and len(row) >= 7:
+                precision.append({
+                    "model": row[0],
+                    "precision": row[1],
+                    "isa": row[2],
+                    "batch": int(row[3]),
+                    "seqs_per_sec": float(row[4]),
+                    "request_p50_ms": float(row[5]),
+                    "request_p95_ms": float(row[6]),
                 })
         except ValueError:
             pass
@@ -113,7 +133,27 @@ for entry in batched:
         entry["per_seq_before_seqs_per_sec"] = before_sps
         entry["speedup_vs_per_seq"] = round(entry["seqs_per_sec"] / before_sps, 2)
 
-# Pair the scalar/avx2 rows of the ISA sweep by benchmark shape.
+# Pair each batch size's f64/f32 cells (they ran back to back, so the ratio
+# is taken within one thermal regime) into a per-batch f32 speedup column.
+by_batch = {}
+for entry in precision:
+    by_batch.setdefault(entry["batch"], {})[entry["precision"]] = entry
+precision_speedups = []
+for batch in sorted(by_batch):
+    cells = by_batch[batch]
+    if "f64" in cells and "f32" in cells and cells["f64"]["seqs_per_sec"]:
+        precision_speedups.append({
+            "batch": batch,
+            "isa": cells["f32"]["isa"],
+            "f64_seqs_per_sec": cells["f64"]["seqs_per_sec"],
+            "f32_seqs_per_sec": cells["f32"]["seqs_per_sec"],
+            "f32_speedup": round(
+                cells["f32"]["seqs_per_sec"] / cells["f64"]["seqs_per_sec"], 3),
+        })
+
+# Group the ISA micro sweep rows by benchmark shape; each shape gets one
+# column per ISA that ran (avx512 rows are skipped on hosts without it).
+ISA_NAMES = {"/isa:0": "scalar", "/isa:1": "avx2", "/isa:2": "avx512"}
 with open(os.environ["MICRO_JSON"]) as f:
     micro = json.load(f)
 rows = {}
@@ -121,19 +161,23 @@ for b in micro.get("benchmarks", []):
     name = b.get("name", "")
     if "/isa:" not in name or b.get("error_occurred"):
         continue
-    shape = name.replace("/isa:0", "").replace("/isa:1", "")
-    isa = "scalar" if "/isa:0" in name else "avx2"
+    shape, isa = name, None
+    for tag, isa_name in ISA_NAMES.items():
+        if tag in name:
+            shape, isa = name.replace(tag, ""), isa_name
+    if isa is None:
+        continue
     rows.setdefault(shape, {})[isa] = b.get("real_time")
 kernels = []
 for shape in sorted(rows):
     r = rows[shape]
     entry = {"benchmark": shape}
-    if "scalar" in r:
-        entry["scalar_ns"] = round(r["scalar"], 1)
-    if "avx2" in r:
-        entry["avx2_ns"] = round(r["avx2"], 1)
-    if "scalar" in r and "avx2" in r and r["avx2"]:
-        entry["speedup"] = round(r["scalar"] / r["avx2"], 2)
+    for isa in ("scalar", "avx2", "avx512"):
+        if isa in r:
+            entry[f"{isa}_ns"] = round(r[isa], 1)
+    for isa in ("avx2", "avx512"):
+        if "scalar" in r and isa in r and r[isa]:
+            entry[f"{isa}_speedup"] = round(r["scalar"] / r[isa], 2)
     kernels.append(entry)
 
 report = {
@@ -153,6 +197,17 @@ report = {
         "note": "lockstep execution batch vs the per-sequence NoGradScope "
                 "path of BENCH_PR4.json; one request = one batch",
         "rows": batched,
+    },
+    "serving_precision": {
+        "benchmark": "bench_infer_latency (serving precision sweep)",
+        "metric": "sustained_seqs_per_sec",
+        "note": "the same DIFFODE weights frozen at f64 vs f32 "
+                "(Freeze(Precision::kF32), the diffode_f32.cc engine); isa "
+                "is the dispatched kernel backend; each batch size's f64 and "
+                "f32 cells ran back to back so their ratio shares one "
+                "frequency regime",
+        "rows": precision,
+        "f32_speedup_by_batch": precision_speedups,
     },
     "kernel_isa_sweep": {
         "benchmark": "bench_micro_substrates --benchmark_filter=Isa",

@@ -30,6 +30,24 @@ if [[ "${tensor_fn}" -gt 2 || "${ops_fn}" -gt 0 ]]; then
   exit 1
 fi
 
+echo "== lint: no raw double in the dtype-generic tensor surface =="
+# The tensor/kernel substrate is templated on dtype; its headers must spell
+# the element type T (or Scalar for the f64-typedef'd public aliases), never
+# raw `double` — a raw double in a generic path silently widens the f32
+# serving tier. Lines that are intentionally f64-specific carry a
+# `// dtype:ok` escape with a reason; the ISA backend .cc files are exempt
+# (each is a concrete-dtype implementation by design). Comment lines don't
+# count.
+dtype_raw=$(grep -rn '\bdouble\b' src/tensor/*.h \
+  | grep -v 'dtype:ok' | grep -cv ':[0-9]*:[[:space:]]*//' || true)
+if [[ "${dtype_raw}" -gt 0 ]]; then
+  echo "lint FAIL: raw double in src/tensor headers (${dtype_raw} lines);"
+  echo "use the dtype template parameter or add '// dtype:ok — <reason>':"
+  grep -rn '\bdouble\b' src/tensor/*.h \
+    | grep -v 'dtype:ok' | grep -v ':[0-9]*:[[:space:]]*//'
+  exit 1
+fi
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . > /dev/null
 cmake --build build -j > /dev/null
@@ -60,6 +78,25 @@ echo "== tier-1: batched lockstep equivalence, DIFFODE_KERNEL_ISA=scalar =="
 # threads, this leg pins the dispatcher itself to scalar.
 (cd build && DIFFODE_KERNEL_ISA=scalar ctest --output-on-failure \
   -R 'batched_equiv_test')
+
+echo "== tier-1: f32 serving tier, DIFFODE_KERNEL_ISA=scalar =="
+# The f32 engine's accuracy and round-trip contracts must hold on the
+# portable scalar f32 kernels — the fallback a non-AVX2 serving host runs.
+(cd build && DIFFODE_KERNEL_ISA=scalar ctest --output-on-failure \
+  -R 'precision_test|serialize_roundtrip_test|kernels_isa_test')
+
+echo "== tier-1: f32 serving tier, DIFFODE_KERNEL_ISA=avx2 =="
+# Same suite pinned to the AVX2 f32 backend (the dispatched default on x86;
+# resolves to scalar with a warning elsewhere, so the leg is portable).
+(cd build && DIFFODE_KERNEL_ISA=avx2 ctest --output-on-failure \
+  -R 'precision_test|serialize_roundtrip_test|kernels_isa_test')
+
+echo "== tier-1: f32 serving tier + kernel matrix, DIFFODE_KERNEL_ISA=avx512 =="
+# The AVX-512 backend is opt-in (auto-resolution caps at AVX2). On hosts
+# without AVX-512 F+DQ the dispatcher warns and falls back, and the
+# ISA-matrix tests CPUID-skip their avx512 legs, so this runs everywhere.
+(cd build && DIFFODE_KERNEL_ISA=avx512 ctest --output-on-failure \
+  -R 'precision_test|serialize_roundtrip_test|kernels_isa_test')
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: configure + build (-DDIFFODE_SANITIZE=thread) =="
@@ -93,6 +130,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # this leg is the gate that no packed block or checkpoint row outlives its
   # buffer.
   (cd build-asan && ctest --output-on-failure -R 'batched_equiv_test')
+
+  echo "== asan: f32 serving engine =="
+  # The f32 tier carves flat scratch (p_buf / chunk_scratch) by chunk id and
+  # caches stage tensors across RK stages; this leg is the gate that no
+  # recovery pass indexes outside its chunk slice and no cached stage buffer
+  # is read after the active-row count changed.
+  (cd build-asan && ctest --output-on-failure -R 'precision_test')
 
   echo "== asan: full suite =="
   (cd build-asan && ctest --output-on-failure -j)

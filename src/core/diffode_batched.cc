@@ -14,6 +14,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/batch_plans.h"
+#include "core/diffode_f32.h"
 #include "core/diffode_model.h"
 #include "core/parallel.h"
 #include "data/encoding.h"
@@ -182,65 +184,24 @@ std::vector<std::vector<Tensor>> DiffOde::BatchedStatesAt(
   const bool direct = config_.head == OutputHead::kDirect;
   const bool anchored = attn && config_.consistency_weight > 0.0;
 
-  // Per-row plans replicating StatesAt's grid: sorted-unique query times
-  // (plus the observation anchors when the consistency term is configured,
-  // which change how IntegrateVar partitions each span), a forward chain
-  // from t = 0 and — for queries before the first observation — a second
-  // engine row integrating the backward chain from the same initial state.
-  std::vector<ode::RowPlan> plans(static_cast<std::size_t>(b));
+  // Per-row plans replicating StatesAt's grid (see core/batch_plans.h); the
+  // builder is shared with the f32 serving engine so both precisions replay
+  // identical timelines.
+  std::vector<const std::vector<Scalar>*> anchors(static_cast<std::size_t>(b),
+                                                  nullptr);
+  if (anchored)
+    for (Index r = 0; r < b; ++r)
+      anchors[static_cast<std::size_t>(r)] =
+          &encs[static_cast<std::size_t>(r)].norm_times;
+  BatchPlans bp = BuildBatchPlans(norm_queries, anchors, config_.step);
+  const std::vector<ode::RowPlan>& plans = bp.plans;
+  const std::vector<Index>& orig_of_row = bp.orig_of_row;
+  const std::vector<std::vector<Scalar>>& slots = bp.slots;
+  const std::vector<Index>& back_row = bp.back_row;
   std::vector<const Encoded*> row_enc;
-  std::vector<Index> orig_of_row;
-  row_enc.reserve(static_cast<std::size_t>(b));
-  for (Index r = 0; r < b; ++r) {
-    row_enc.push_back(&encs[static_cast<std::size_t>(r)]);
-    orig_of_row.push_back(r);
-  }
-  std::vector<std::vector<Scalar>> slots(static_cast<std::size_t>(b));
-  std::vector<Index> back_row(static_cast<std::size_t>(b), -1);
-  for (Index r = 0; r < b; ++r) {
-    const Encoded& enc = encs[static_cast<std::size_t>(r)];
-    std::vector<Scalar>& sl = slots[static_cast<std::size_t>(r)];
-    sl = norm_queries[static_cast<std::size_t>(r)];
-    std::sort(sl.begin(), sl.end());
-    sl.erase(std::unique(sl.begin(), sl.end()), sl.end());
-    std::vector<Scalar> grid = sl;
-    if (anchored)
-      grid.insert(grid.end(), enc.norm_times.begin(), enc.norm_times.end());
-    std::sort(grid.begin(), grid.end());
-    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
-    const auto slot_of = [&sl](Scalar t) -> Index {
-      const auto it = std::lower_bound(sl.begin(), sl.end(), t);
-      if (it != sl.end() && *it == t)
-        return static_cast<Index>(it - sl.begin());
-      return -1;
-    };
-    {
-      ode::RowPlan& plan = plans[static_cast<std::size_t>(r)];
-      Scalar t_prev = 0.0;
-      for (Scalar t : grid) {
-        if (t < 0.0) continue;
-        ode::AppendSegment(&plan, t_prev, t, config_.step);
-        const Index slot = slot_of(t);
-        if (slot >= 0) ode::AppendCheckpoint(&plan, slot);
-        t_prev = t;
-      }
-    }
-    if (!sl.empty() && sl.front() < 0.0) {
-      back_row[static_cast<std::size_t>(r)] =
-          static_cast<Index>(plans.size());
-      plans.emplace_back();
-      row_enc.push_back(&enc);
-      orig_of_row.push_back(r);
-      ode::RowPlan& plan = plans.back();
-      Scalar t_prev = 0.0;
-      for (auto it = grid.rbegin(); it != grid.rend(); ++it) {
-        if (*it >= 0.0) continue;  // anchors are all >= 0, so every
-        ode::AppendSegment(&plan, t_prev, *it, config_.step);
-        ode::AppendCheckpoint(&plan, slot_of(*it));  // negative is a query
-        t_prev = *it;
-      }
-    }
-  }
+  row_enc.reserve(orig_of_row.size());
+  for (Index orig : orig_of_row)
+    row_enc.push_back(&encs[static_cast<std::size_t>(orig)]);
 
   const Index rows_total = static_cast<Index>(plans.size());
   Tensor y = Tensor::Uninit(Shape{rows_total, sd});
@@ -378,6 +339,8 @@ std::vector<std::vector<Tensor>> DiffOde::BatchedStatesAt(
 }
 
 Tensor DiffOde::ClassifyLogitsBatched(const data::SequenceBatch& batch) {
+  if (serving_f32_)
+    return DiffOdeF32Engine::ClassifyLogitsBatched(*this, batch);
   ag::NoGradScope no_grad;
   std::vector<Encoded> encs = EncodeBatched(batch);
   const Index b = batch.batch;
@@ -439,6 +402,7 @@ Tensor DiffOde::ClassifyLogitsBatched(const data::SequenceBatch& batch) {
 std::vector<std::vector<Tensor>> DiffOde::PredictAtBatched(
     const data::SequenceBatch& batch,
     const std::vector<std::vector<Scalar>>& times) {
+  if (serving_f32_) return DiffOdeF32Engine::PredictAtBatched(*this, batch, times);
   ag::NoGradScope no_grad;
   DIFFODE_CHECK_EQ(static_cast<Index>(times.size()), batch.batch);
   std::vector<Encoded> encs = EncodeBatched(batch);

@@ -1,0 +1,74 @@
+#ifndef DIFFODE_CORE_DIFFODE_F32_H_
+#define DIFFODE_CORE_DIFFODE_F32_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/sequence_batch.h"
+#include "tensor/tensor.h"
+
+namespace diffode::core {
+
+class DiffOde;
+struct ServingF32;
+
+// Float casts of one attention head's DhsContext (core/dhs.h). The
+// factorization behind these tensors — the ridge Gram inverse of (Zᵀ)†,
+// the projector sums — is always computed in f64 and cast down once per
+// sequence; only the per-step recoveries consume the float copies.
+struct DhsContextF32 {
+  Tensor32 zt_pinv;       // (Zᵀ)†, n x d_h
+  Tensor32 pinv_colsum;   // 1ᵀ (Zᵀ)†, 1 x d_h; column sums, summed in f64
+  Tensor32 ap_rowsum;     // (A_p J)ᵀ, 1 x n
+  Tensor32 ada_corr;      // h A_p, 1 x n; empty unless the adaH strategy
+  Tensor32 z;             // n x d_h
+  float ap_total = 0.0f;
+  Index d = 0;
+};
+
+// Float mirror of DiffOde::Encoded for one sequence: everything the f32
+// RHS and readouts touch per step, plus the f64-built initial state cast
+// down once.
+struct EncodedF32 {
+  std::vector<DhsContextF32> heads;
+  Tensor32 h2;      // 1 x n (attention paths)
+  Tensor32 z_mean;  // 1 x d
+  Tensor32 y0;      // 1 x StateDim()
+  std::vector<Scalar> norm_times;
+  Scalar t_scale = 1.0;
+  Scalar t_offset = 0.0;
+};
+
+// The f32 serving engine (diffode_f32.cc): float mirrors of the lockstep
+// batched forwards in diffode_batched.cc, running over the frozen f32
+// parameter snapshot that Freeze(Precision::kF32) builds. A friend of
+// DiffOde so it can reuse the private context/initial-state builds.
+// Everything on the per-step path — encoder, DHS recoveries, phi/f_r/w_r/
+// f_out GEMMs, lockstep integration — runs in float over the same RowPlan
+// timelines as the f64 engine (core/batch_plans.h). Results are cast back
+// to f64 at the boundary, so callers (BatchedDispatch, BatchPredictor, the
+// CLI) see the usual Tensor surface.
+struct DiffOdeF32Engine {
+  // Builds the frozen parameter snapshot; call only after the model's
+  // parameters have been rounded through float (Module::Freeze(kF32)).
+  static std::shared_ptr<ServingF32> Snapshot(const DiffOde& model);
+
+  static Tensor ClassifyLogitsBatched(const DiffOde& model,
+                                      const data::SequenceBatch& batch);
+  static std::vector<std::vector<Tensor>> PredictAtBatched(
+      const DiffOde& model, const data::SequenceBatch& batch,
+      const std::vector<std::vector<Scalar>>& times);
+
+  // Building blocks of the two forwards (exposed for tests): encode the
+  // batch (f32 encoder, f64 context factorization cast down), then evaluate
+  // states at normalized query times via one f32 lockstep integration.
+  static std::vector<EncodedF32> EncodeBatched(
+      const DiffOde& model, const data::SequenceBatch& batch);
+  static std::vector<std::vector<Tensor32>> BatchedStatesAt(
+      const DiffOde& model, const std::vector<EncodedF32>& encs,
+      const std::vector<std::vector<Scalar>>& norm_queries);
+};
+
+}  // namespace diffode::core
+
+#endif  // DIFFODE_CORE_DIFFODE_F32_H_

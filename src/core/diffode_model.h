@@ -19,6 +19,10 @@
 
 namespace diffode::core {
 
+// Frozen f32 parameter snapshot + cast contexts for the f32 serving engine
+// (built by Freeze(Precision::kF32), defined in diffode_f32.cc).
+struct ServingF32;
+
 // The DIFFODE model (paper Secs. III-B to III-D):
 //   encoder ψ  : observations -> latent codes Z (GRU with history, or MLP)
 //   DHS        : S_t = softmax(z_t Zᵀ/√d) Z, with ODE dynamics obtained by
@@ -41,7 +45,11 @@ class DiffOde : public SequenceModel, public BatchedSequenceModel {
   // together along their own per-sequence step timelines, so the shared
   // MLPs (phi, f_r, heads) run at GEMM shape m = B while the per-sequence
   // DHS recoveries replay the exact per-sequence arithmetic. Serving/eval
-  // only: runs under its own NoGradScope.
+  // only: runs under its own NoGradScope. After Freeze(Precision::kF32)
+  // both forwards route to the f32 serving engine (diffode_f32.cc), which
+  // runs the hot loop — encoder, DHS recoveries, phi/f_r/w_r/f_out GEMMs,
+  // lockstep integration — in float over the same RowPlan timelines and
+  // casts results back to f64 at the boundary.
   Tensor ClassifyLogitsBatched(const data::SequenceBatch& batch) override;
   std::vector<std::vector<Tensor>> PredictAtBatched(
       const data::SequenceBatch& batch,
@@ -113,6 +121,11 @@ class DiffOde : public SequenceModel, public BatchedSequenceModel {
   Index StateDim() const;
   Index ReadoutDim() const;
 
+  // Builds (kF32) or drops (kF64) the frozen f32 serving snapshot; runs
+  // after Module::Freeze has rounded the parameters through float, so the
+  // snapshot casts are exact (diffode_f32.cc).
+  void OnFrozen(Precision precision) override;
+
   // Adds a DHS consistency / sparsity term to this thread's aux loss.
   void AddAuxiliaryLoss(const ag::Var& term) const;
 
@@ -137,6 +150,12 @@ class DiffOde : public SequenceModel, public BatchedSequenceModel {
   Tensor hippo_a_;    // d_c x d_c (LegS, stable)
   Tensor hippo_a_t_;  // Aᵀ, cached so Dynamics never re-transposes
   Tensor hippo_b_t_;  // 1 x d_c (Bᵀ)
+
+  // Set by Freeze(Precision::kF32); presence routes the batched forwards to
+  // the f32 engine. The engine (a friend so it can replay the private
+  // context/initial-state builds) lives in diffode_f32.cc.
+  friend struct DiffOdeF32Engine;
+  std::shared_ptr<ServingF32> serving_f32_;
 };
 
 }  // namespace diffode::core

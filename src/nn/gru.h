@@ -48,6 +48,10 @@ class GruCell : public Module {
     h_gates_->CollectParams(out);
   }
 
+  // Gate access for frozen serving snapshots (nn/frozen.h).
+  const Linear& x_gates() const { return *x_gates_; }
+  const Linear& h_gates() const { return *h_gates_; }
+
  private:
   Index hidden_size_;
   std::unique_ptr<Linear> x_gates_;

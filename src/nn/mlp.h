@@ -57,6 +57,12 @@ class Mlp : public Module {
     for (const auto& l : layers_) l->CollectParams(out);
   }
 
+  // Layer access for frozen serving snapshots (nn/frozen.h).
+  const std::vector<std::unique_ptr<Linear>>& layers() const {
+    return layers_;
+  }
+  Activation activation() const { return activation_; }
+
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
   Activation activation_;

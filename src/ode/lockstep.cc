@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "autograd/ops.h"
 #include "tensor/kernels.h"
@@ -12,17 +13,47 @@ namespace {
 // Per-row stage combination through the shared forward-arithmetic range
 // functions of the per-sequence integrator (ops.cc), sliced at each row's
 // own step size. Stage buffers are plain Tensors reused across iterations.
+template <typename T>
 struct StageBuffers {
-  Tensor stage;            // packed stage states (a x d)
+  TensorT<T> stage;        // packed stage states (a x d)
   std::vector<Scalar> tt;  // packed stage times
 };
 
-void AxpyRows(const Tensor& y, const Tensor& k, const std::vector<Scalar>& h,
-              Scalar h_factor, Index a, Index d, Tensor* out) {
+// out[i] = y[i] + k[i] * h in T. The f64 branch calls the per-sequence
+// integrator's exact range function so the lockstep path stays bitwise
+// identical to the unrolled solver; the f32 branch is the same expression
+// with the row's step size rounded once to float.
+template <typename T>
+inline void AxpyRowT(Index d, const T* y, const T* k, Scalar h, T* out) {
+  if constexpr (std::is_same_v<T, Scalar>) {
+    ag::detail::AxpyForward(d, y, k, h, out);
+  } else {
+    const T ht = static_cast<T>(h);
+    kernels::Zip(d, y, k, out, [ht](T yv, T kv) { return yv + kv * ht; });
+  }
+}
+
+// RK4 combination out = y + h/6 (k1 + 2 k2 + 2 k3 + k4), same branch
+// structure as AxpyRowT.
+template <typename T>
+inline void Rk4CombineRowT(Index d, const T* y, const T* k1, const T* k2,
+                           const T* k3, const T* k4, Scalar h, T* out) {
+  if constexpr (std::is_same_v<T, Scalar>) {
+    ag::detail::Rk4CombineForward(d, y, k1, k2, k3, k4, h, out);
+  } else {
+    const T h6 = static_cast<T>(h) / T(6);
+    for (Index i = 0; i < d; ++i)
+      out[i] = y[i] + h6 * ((k1[i] + T(2) * k2[i]) + (T(2) * k3[i] + k4[i]));
+  }
+}
+
+template <typename T>
+void AxpyRows(const TensorT<T>& y, const TensorT<T>& k,
+              const std::vector<Scalar>& h, Scalar h_factor, Index a, Index d,
+              TensorT<T>* out) {
   for (Index i = 0; i < a; ++i)
-    ag::detail::AxpyForward(d, y.data() + i * d, k.data() + i * d,
-                            h_factor * h[static_cast<std::size_t>(i)],
-                            out->data() + i * d);
+    AxpyRowT<T>(d, y.data() + i * d, k.data() + i * d,
+                h_factor * h[static_cast<std::size_t>(i)], out->data() + i * d);
 }
 
 }  // namespace
@@ -45,9 +76,10 @@ void AppendCheckpoint(RowPlan* plan, Index tag) {
       RowCheckpoint{static_cast<Index>(plan->steps.size()), tag});
 }
 
-void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
-                       const BatchedRhs& rhs, const LockstepEventFn& on_event,
-                       Tensor* y) {
+template <typename T>
+void LockstepIntegrateT(const std::vector<RowPlan>& plans, DiffMethod method,
+                        const BatchedRhsT<T>& rhs,
+                        const LockstepEventFnT<T>& on_event, TensorT<T>* y) {
   const Index b = static_cast<Index>(plans.size());
   DIFFODE_CHECK_EQ(y->rows(), b);
   const Index d = y->cols();
@@ -57,8 +89,8 @@ void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
   std::vector<LockstepEvent> events;
   std::vector<Index> active;
   std::vector<Scalar> t0, h;
-  Tensor packed, k1, k2, k3, k4;
-  StageBuffers bufs;
+  TensorT<T> packed, k1, k2, k3, k4;
+  StageBuffers<T> bufs;
 
   for (;;) {
     // Fire due checkpoints first — one per row per wave, so several
@@ -94,7 +126,7 @@ void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
     }
     if (active.empty()) return;
     const Index a = static_cast<Index>(active.size());
-    packed = Tensor::Uninit(Shape{a, d});
+    packed = TensorT<T>::Uninit(Shape{a, d});
     kernels::SelectRows(a, d, active.data(), y->data(), packed.data());
 
     // One step per active row, same stage structure and stage-time
@@ -103,42 +135,42 @@ void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
     switch (method) {
       case DiffMethod::kEuler: {
         k1 = rhs(active, t0, packed);
-        AxpyRows(packed, k1, h, 1.0, a, d, &packed);
+        AxpyRows<T>(packed, k1, h, 1.0, a, d, &packed);
         break;
       }
       case DiffMethod::kMidpoint: {
         k1 = rhs(active, t0, packed);
-        bufs.stage = Tensor::Uninit(Shape{a, d});
-        AxpyRows(packed, k1, h, 0.5, a, d, &bufs.stage);
+        bufs.stage = TensorT<T>::Uninit(Shape{a, d});
+        AxpyRows<T>(packed, k1, h, 0.5, a, d, &bufs.stage);
         for (Index i = 0; i < a; ++i)
           bufs.tt[static_cast<std::size_t>(i)] =
               t0[static_cast<std::size_t>(i)] +
               0.5 * h[static_cast<std::size_t>(i)];
         k2 = rhs(active, bufs.tt, bufs.stage);
-        AxpyRows(packed, k2, h, 1.0, a, d, &packed);
+        AxpyRows<T>(packed, k2, h, 1.0, a, d, &packed);
         break;
       }
       case DiffMethod::kRk4: {
         k1 = rhs(active, t0, packed);
-        bufs.stage = Tensor::Uninit(Shape{a, d});
-        AxpyRows(packed, k1, h, 0.5, a, d, &bufs.stage);
+        bufs.stage = TensorT<T>::Uninit(Shape{a, d});
+        AxpyRows<T>(packed, k1, h, 0.5, a, d, &bufs.stage);
         for (Index i = 0; i < a; ++i)
           bufs.tt[static_cast<std::size_t>(i)] =
               t0[static_cast<std::size_t>(i)] +
               0.5 * h[static_cast<std::size_t>(i)];
         k2 = rhs(active, bufs.tt, bufs.stage);
-        AxpyRows(packed, k2, h, 0.5, a, d, &bufs.stage);
+        AxpyRows<T>(packed, k2, h, 0.5, a, d, &bufs.stage);
         k3 = rhs(active, bufs.tt, bufs.stage);
-        AxpyRows(packed, k3, h, 1.0, a, d, &bufs.stage);
+        AxpyRows<T>(packed, k3, h, 1.0, a, d, &bufs.stage);
         for (Index i = 0; i < a; ++i)
           bufs.tt[static_cast<std::size_t>(i)] =
               t0[static_cast<std::size_t>(i)] + h[static_cast<std::size_t>(i)];
         k4 = rhs(active, bufs.tt, bufs.stage);
         for (Index i = 0; i < a; ++i)
-          ag::detail::Rk4CombineForward(
-              d, packed.data() + i * d, k1.data() + i * d, k2.data() + i * d,
-              k3.data() + i * d, k4.data() + i * d,
-              h[static_cast<std::size_t>(i)], packed.data() + i * d);
+          Rk4CombineRowT<T>(d, packed.data() + i * d, k1.data() + i * d,
+                            k2.data() + i * d, k3.data() + i * d,
+                            k4.data() + i * d, h[static_cast<std::size_t>(i)],
+                            packed.data() + i * d);
         break;
       }
     }
@@ -146,5 +178,141 @@ void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
     for (Index r : active) ++steps_done[static_cast<std::size_t>(r)];
   }
 }
+
+void LockstepIntegrateMixed(const std::vector<RowPlan>& plans,
+                            DiffMethod method, const BatchedRhsT<float>& rhs,
+                            const LockstepEventFnT<Scalar>& on_event,
+                            Tensor* y) {
+  const Index b = static_cast<Index>(plans.size());
+  DIFFODE_CHECK_EQ(y->rows(), b);
+  const Index d = y->cols();
+  std::vector<Index> steps_done(static_cast<std::size_t>(b), 0);
+  std::vector<std::size_t> next_cp(static_cast<std::size_t>(b), 0);
+
+  std::vector<LockstepEvent> events;
+  std::vector<Index> active;
+  std::vector<Scalar> t0, h, tt;
+  Tensor packed, stage;
+  Tensor32 narrow32, k1, k2, k3, k4;
+
+  // Narrow an f64 stage state into the reused f32 RHS operand.
+  const auto narrow = [&narrow32](const Tensor& src) -> const Tensor32& {
+    if (narrow32.numel() != src.numel())
+      narrow32 = Tensor32::Uninit(src.shape());
+    const Scalar* s = src.data();
+    float* dst = narrow32.data();
+    for (Index i = 0; i < src.numel(); ++i)
+      dst[i] = static_cast<float>(s[i]);
+    return narrow32;
+  };
+  // out[i] = y[i] + widen(k[i]) * (factor * h_row), accumulated in f64.
+  const auto axpy_rows = [&h](const Tensor& yv, const Tensor32& k,
+                              Scalar factor, Index a, Index d, Tensor* out) {
+    for (Index i = 0; i < a; ++i) {
+      const Scalar hi = factor * h[static_cast<std::size_t>(i)];
+      const Scalar* yr = yv.data() + i * d;
+      const float* kr = k.data() + i * d;
+      Scalar* o = out->data() + i * d;
+      for (Index j = 0; j < d; ++j)
+        o[j] = yr[j] + static_cast<Scalar>(kr[j]) * hi;
+    }
+  };
+
+  for (;;) {
+    for (;;) {
+      events.clear();
+      for (Index r = 0; r < b; ++r) {
+        const auto& cps = plans[static_cast<std::size_t>(r)].checkpoints;
+        std::size_t& cp = next_cp[static_cast<std::size_t>(r)];
+        if (cp < cps.size() &&
+            cps[cp].after_steps == steps_done[static_cast<std::size_t>(r)]) {
+          events.push_back(LockstepEvent{r, cps[cp].tag});
+          ++cp;
+        }
+      }
+      if (events.empty()) break;
+      on_event(events, y);
+    }
+
+    active.clear();
+    t0.clear();
+    h.clear();
+    for (Index r = 0; r < b; ++r) {
+      const auto& steps = plans[static_cast<std::size_t>(r)].steps;
+      const Index done = steps_done[static_cast<std::size_t>(r)];
+      if (done < static_cast<Index>(steps.size())) {
+        active.push_back(r);
+        t0.push_back(steps[static_cast<std::size_t>(done)].t);
+        h.push_back(steps[static_cast<std::size_t>(done)].h);
+      }
+    }
+    if (active.empty()) return;
+    const Index a = static_cast<Index>(active.size());
+    packed = Tensor::Uninit(Shape{a, d});
+    kernels::SelectRows(a, d, active.data(), y->data(), packed.data());
+
+    tt.resize(static_cast<std::size_t>(a));
+    switch (method) {
+      case DiffMethod::kEuler: {
+        k1 = rhs(active, t0, narrow(packed));
+        axpy_rows(packed, k1, 1.0, a, d, &packed);
+        break;
+      }
+      case DiffMethod::kMidpoint: {
+        k1 = rhs(active, t0, narrow(packed));
+        stage = Tensor::Uninit(Shape{a, d});
+        axpy_rows(packed, k1, 0.5, a, d, &stage);
+        for (Index i = 0; i < a; ++i)
+          tt[static_cast<std::size_t>(i)] = t0[static_cast<std::size_t>(i)] +
+                                            0.5 * h[static_cast<std::size_t>(i)];
+        k2 = rhs(active, tt, narrow(stage));
+        axpy_rows(packed, k2, 1.0, a, d, &packed);
+        break;
+      }
+      case DiffMethod::kRk4: {
+        k1 = rhs(active, t0, narrow(packed));
+        stage = Tensor::Uninit(Shape{a, d});
+        axpy_rows(packed, k1, 0.5, a, d, &stage);
+        for (Index i = 0; i < a; ++i)
+          tt[static_cast<std::size_t>(i)] = t0[static_cast<std::size_t>(i)] +
+                                            0.5 * h[static_cast<std::size_t>(i)];
+        k2 = rhs(active, tt, narrow(stage));
+        axpy_rows(packed, k2, 0.5, a, d, &stage);
+        k3 = rhs(active, tt, narrow(stage));
+        axpy_rows(packed, k3, 1.0, a, d, &stage);
+        for (Index i = 0; i < a; ++i)
+          tt[static_cast<std::size_t>(i)] = t0[static_cast<std::size_t>(i)] +
+                                            h[static_cast<std::size_t>(i)];
+        k4 = rhs(active, tt, narrow(stage));
+        for (Index i = 0; i < a; ++i) {
+          const Scalar h6 = h[static_cast<std::size_t>(i)] / 6.0;
+          const Scalar* yr = packed.data() + i * d;
+          const float* a1 = k1.data() + i * d;
+          const float* a2 = k2.data() + i * d;
+          const float* a3 = k3.data() + i * d;
+          const float* a4 = k4.data() + i * d;
+          Scalar* o = packed.data() + i * d;
+          for (Index j = 0; j < d; ++j)
+            o[j] = yr[j] +
+                   h6 * ((static_cast<Scalar>(a1[j]) +
+                          2.0 * static_cast<Scalar>(a2[j])) +
+                         (2.0 * static_cast<Scalar>(a3[j]) +
+                          static_cast<Scalar>(a4[j])));
+        }
+        break;
+      }
+    }
+    kernels::ScatterRows(a, d, active.data(), packed.data(), y->data());
+    for (Index r : active) ++steps_done[static_cast<std::size_t>(r)];
+  }
+}
+
+template void LockstepIntegrateT<Scalar>(  // dtype:ok — f64 default engine
+    const std::vector<RowPlan>&, DiffMethod, const BatchedRhsT<Scalar>&,
+    const LockstepEventFnT<Scalar>&, Tensor*);
+template void LockstepIntegrateT<float>(const std::vector<RowPlan>&,
+                                        DiffMethod, const BatchedRhsT<float>&,
+                                        const LockstepEventFnT<float>&,
+                                        Tensor32*);
 
 }  // namespace diffode::ode

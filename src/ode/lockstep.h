@@ -53,10 +53,14 @@ void AppendCheckpoint(RowPlan* plan, Index tag);
 
 // RHS over the packed active rows. `rows[i]` is the batch row stored at row i
 // of `y_active` (a x d); `t[i]` is that row's current stage time. Returns the
-// a x d derivative block.
-using BatchedRhs = std::function<Tensor(const std::vector<Index>& rows,
-                                        const std::vector<Scalar>& t,
-                                        const Tensor& y_active)>;
+// a x d derivative block. Plans and stage times stay f64 for every state
+// dtype: the timeline replay must be bit-identical across precisions so an
+// f32 engine reuses the exact f64 step grids.
+template <typename T>
+using BatchedRhsT = std::function<TensorT<T>(const std::vector<Index>& rows,
+                                             const std::vector<Scalar>& t,
+                                             const TensorT<T>& y_active)>;
+using BatchedRhs = BatchedRhsT<Scalar>;
 
 // One due checkpoint, identified by batch row and the caller's tag.
 struct LockstepEvent {
@@ -68,15 +72,50 @@ struct LockstepEvent {
 // handler may overwrite rows (jumps) or just read them (readouts). Within
 // one wave each row appears at most once; a row with several checkpoints at
 // the same step index receives them in tag order across successive waves.
-using LockstepEventFn =
-    std::function<void(const std::vector<LockstepEvent>& events, Tensor* y)>;
+template <typename T>
+using LockstepEventFnT =
+    std::function<void(const std::vector<LockstepEvent>& events,
+                       TensorT<T>* y)>;
+using LockstepEventFn = LockstepEventFnT<Scalar>;
 
 // Advances every row through its plan. `y` holds one row per plan; rows
 // whose plans end early simply stop participating. `on_event` may be empty
-// only if no plan has checkpoints.
-void LockstepIntegrate(const std::vector<RowPlan>& plans, DiffMethod method,
-                       const BatchedRhs& rhs, const LockstepEventFn& on_event,
-                       Tensor* y);
+// only if no plan has checkpoints. The f64 instantiation combines stages
+// through the per-sequence integrator's exact range functions
+// (ag::detail::AxpyForward / Rk4CombineForward); the f32 instantiation runs
+// the same expressions at float precision with each row's f64 step size
+// rounded once to float.
+template <typename T>
+void LockstepIntegrateT(const std::vector<RowPlan>& plans, DiffMethod method,
+                        const BatchedRhsT<T>& rhs,
+                        const LockstepEventFnT<T>& on_event, TensorT<T>* y);
+
+extern template void LockstepIntegrateT<Scalar>(  // dtype:ok — f64 default
+    const std::vector<RowPlan>&, DiffMethod, const BatchedRhsT<Scalar>&,
+    const LockstepEventFnT<Scalar>&, Tensor*);
+extern template void LockstepIntegrateT<float>(
+    const std::vector<RowPlan>&, DiffMethod, const BatchedRhsT<float>&,
+    const LockstepEventFnT<float>&, Tensor32*);
+
+// Mixed-precision lockstep for the f32 serving tier: the carried state, the
+// stage combines, and the step sizes stay f64 — the per-step accumulate is
+// a rounding injection point that stiff/ill-conditioned dynamics amplify —
+// while the RHS is evaluated in f32 on a state narrowed once per stage into
+// a reused buffer. The f32 derivative is widened inside the f64 combines
+// (no intermediate tensor), so the only per-stage overhead over the pure
+// f32 instantiation is the narrow copy.
+void LockstepIntegrateMixed(const std::vector<RowPlan>& plans,
+                            DiffMethod method, const BatchedRhsT<float>& rhs,
+                            const LockstepEventFnT<Scalar>& on_event,
+                            Tensor* y);
+
+// Non-template f64 entry point kept for the existing engines
+// (diffode_batched.cc, baselines/jump_ode_base.cc).
+inline void LockstepIntegrate(const std::vector<RowPlan>& plans,
+                              DiffMethod method, const BatchedRhs& rhs,
+                              const LockstepEventFn& on_event, Tensor* y) {
+  LockstepIntegrateT<Scalar>(plans, method, rhs, on_event, y);
+}
 
 }  // namespace diffode::ode
 

@@ -2,12 +2,15 @@
 // about threading: the fixed row-panel grid for GEMMs, the fixed elementwise
 // chunk grid, and the fixed reduction partial grid with chunk-ordered
 // combination. The arithmetic itself lives in the per-ISA backends
-// (kernels_scalar.cc / kernels_avx2.cc), reached through a KernelTable
-// selected from simd::ActiveIsa(). Because the grids here never depend on
-// the thread count and backend bodies never depend on partition bounds,
-// output is bitwise reproducible at any pool size within a given ISA.
+// (kernels_scalar.cc / kernels_avx2.cc / kernels_avx512.cc), reached through
+// a dtype-specific KernelTable selected from simd::ActiveIsa(). Because the
+// grids here never depend on the thread count and backend bodies never
+// depend on partition bounds, output is bitwise reproducible at any pool
+// size within a given (ISA, dtype) pair.
 
 #include "tensor/kernels.h"
+
+#include <type_traits>
 
 #include "tensor/kernels_isa.h"
 #include "tensor/simd.h"
@@ -22,16 +25,37 @@ constexpr Index kGemmParallelFlops = 1 << 15;
 // partition — and therefore every output bit — never depends on the pool.
 constexpr Index kGemmRowGrain = 32;
 
-// Backend for the current ISA. Looked up once per kernel entry so one call
-// never mixes backends even if a test flips SetActiveIsa concurrently.
-// Everything here inlines to a relaxed load, a compare, and a constant
-// address — this runs on every kernel dispatch, thousands of times per
-// forward pass on the small tensors these models use.
-inline const detail::KernelTable* Table() {
-#if DIFFODE_HAS_AVX2_BUILD
-  if (simd::ActiveIsa() == simd::Isa::kAvx2) return &detail::kAvx2Table;
+// Backend for the current ISA and dtype. Looked up once per kernel entry so
+// one call never mixes backends even if a test flips SetActiveIsa
+// concurrently. Everything here inlines to a relaxed load, compares, and a
+// constant address — this runs on every kernel dispatch, thousands of times
+// per forward pass on the small tensors these models use.
+template <typename T>
+inline const detail::KernelTable<T>* Table() {
+  static_assert(std::is_same_v<T, double> || std::is_same_v<T, float>,
+                "kernel dtype must be double or float");
+  const simd::Isa isa = simd::ActiveIsa();
+#if DIFFODE_HAS_AVX512_BUILD
+  if (isa == simd::Isa::kAvx512) {
+    if constexpr (std::is_same_v<T, double>)
+      return &detail::kAvx512TableF64;
+    else
+      return &detail::kAvx512TableF32;
+  }
 #endif
-  return &detail::kScalarTable;
+#if DIFFODE_HAS_AVX2_BUILD
+  if (isa == simd::Isa::kAvx2) {
+    if constexpr (std::is_same_v<T, double>)
+      return &detail::kAvx2TableF64;
+    else
+      return &detail::kAvx2TableF32;
+  }
+#endif
+  (void)isa;
+  if constexpr (std::is_same_v<T, double>)
+    return &detail::kScalarTableF64;
+  else
+    return &detail::kScalarTableF32;
 }
 
 // Row-parallel driver shared by the GEMM variants.
@@ -44,9 +68,11 @@ void RunRowPanels(Index m, Index k, Index n, Panel panel) {
   }
 }
 
-using MapRangeFn = void (*)(Index, const Scalar*, Scalar*);
+template <typename T>
+using MapRangeFn = void (*)(Index, const T*, T*);
 
-void RunMap(MapRangeFn range, Index n, const Scalar* x, Scalar* out) {
+template <typename T>
+void RunMap(MapRangeFn<T> range, Index n, const T* x, T* out) {
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
       range(e - b, x + b, out + b);
@@ -58,32 +84,33 @@ void RunMap(MapRangeFn range, Index n, const Scalar* x, Scalar* out) {
 
 }  // namespace
 
-void Gemm(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
-          Scalar* c) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+void Gemm(Index m, Index k, Index n, const T* a, const T* b, T* c) {
+  const detail::KernelTable<T>* t = Table<T>();
   RunRowPanels(m, k, n, [=](Index i0, Index i1) {
     t->gemm_panel(i0, i1, k, n, a, b, c);
   });
 }
 
-void GemmTN(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
-            Scalar* c) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+void GemmTN(Index m, Index k, Index n, const T* a, const T* b, T* c) {
+  const detail::KernelTable<T>* t = Table<T>();
   RunRowPanels(m, k, n, [=](Index i0, Index i1) {
     t->gemm_tn_panel(i0, i1, m, k, n, a, b, c);
   });
 }
 
-void GemmNT(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
-            Scalar* c) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+void GemmNT(Index m, Index k, Index n, const T* a, const T* b, T* c) {
+  const detail::KernelTable<T>* t = Table<T>();
   RunRowPanels(m, k, n, [=](Index i0, Index i1) {
     t->gemm_nt_panel(i0, i1, k, n, a, b, c);
   });
 }
 
-void Axpy(Index n, Scalar alpha, const Scalar* x, Scalar* y) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+void Axpy(Index n, T alpha, const T* x, T* y) {
+  const detail::KernelTable<T>* t = Table<T>();
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
       t->axpy(e - b, alpha, x + b, y + b);
@@ -93,9 +120,9 @@ void Axpy(Index n, Scalar alpha, const Scalar* x, Scalar* y) {
   t->axpy(n, alpha, x, y);
 }
 
-void AddScaled(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
-               Scalar* out) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+void AddScaled(Index n, const T* x, T alpha, const T* y, T* out) {
+  const detail::KernelTable<T>* t = Table<T>();
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
       t->add_scaled(e - b, x + b, alpha, y + b, out + b);
@@ -105,8 +132,9 @@ void AddScaled(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
   t->add_scaled(n, x, alpha, y, out);
 }
 
-void Scale(Index n, Scalar alpha, Scalar* x) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+void Scale(Index n, T alpha, T* x) {
+  const detail::KernelTable<T>* t = Table<T>();
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [=](Index b, Index e) {
       t->scale(e - b, alpha, x + b);
@@ -116,47 +144,83 @@ void Scale(Index n, Scalar alpha, Scalar* x) {
   t->scale(n, alpha, x);
 }
 
-Scalar Sum(Index n, const Scalar* x) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+T Sum(Index n, const T* x) {
+  const detail::KernelTable<T>* t = Table<T>();
   if (n < kReductionGrain) return t->sum(n, x);
-  return parallel::ReduceSum(0, n, kReductionGrain, [=](Index b, Index e) {
-    return t->sum(e - b, x + b);
-  });
+  // Chunk partials are combined in f64 regardless of T (ReduceSum's fixed
+  // chunk-ordered serial sum), then rounded once to T — deterministic and,
+  // for f32, strictly more accurate than a float combine.
+  return static_cast<T>(
+      parallel::ReduceSum(0, n, kReductionGrain, [=](Index b, Index e) {
+        return static_cast<Scalar>(t->sum(e - b, x + b));
+      }));
 }
 
-Scalar Dot(Index n, const Scalar* x, const Scalar* y) {
-  const detail::KernelTable* t = Table();
+template <typename T>
+T Dot(Index n, const T* x, const T* y) {
+  const detail::KernelTable<T>* t = Table<T>();
   if (n < kReductionGrain) return t->dot(n, x, y);
-  return parallel::ReduceSum(0, n, kReductionGrain, [=](Index b, Index e) {
-    return t->dot(e - b, x + b, y + b);
-  });
+  return static_cast<T>(
+      parallel::ReduceSum(0, n, kReductionGrain, [=](Index b, Index e) {
+        return static_cast<Scalar>(t->dot(e - b, x + b, y + b));
+      }));
 }
 
-void MapTanh(Index n, const Scalar* x, Scalar* out) {
-  RunMap(Table()->tanh, n, x, out);
+template <typename T>
+void MapTanh(Index n, const T* x, T* out) {
+  RunMap<T>(Table<T>()->tanh, n, x, out);
 }
 
-void MapSigmoid(Index n, const Scalar* x, Scalar* out) {
-  RunMap(Table()->sigmoid, n, x, out);
+template <typename T>
+void MapSigmoid(Index n, const T* x, T* out) {
+  RunMap<T>(Table<T>()->sigmoid, n, x, out);
 }
 
-void MapExp(Index n, const Scalar* x, Scalar* out) {
-  RunMap(Table()->exp, n, x, out);
+template <typename T>
+void MapExp(Index n, const T* x, T* out) {
+  RunMap<T>(Table<T>()->exp, n, x, out);
 }
 
+template <typename T>
 void MaskedRowUpdate(Index rows, Index cols, const unsigned char* mask,
-                     const Scalar* src, Scalar* dst) {
-  Table()->masked_row_update(rows, cols, mask, src, dst);
+                     const T* src, T* dst) {
+  Table<T>()->masked_row_update(rows, cols, mask, src, dst);
 }
 
-void SelectRows(Index count, Index cols, const Index* rows, const Scalar* src,
-                Scalar* dst) {
-  Table()->select_rows(count, cols, rows, src, dst);
+template <typename T>
+void SelectRows(Index count, Index cols, const Index* rows, const T* src,
+                T* dst) {
+  Table<T>()->select_rows(count, cols, rows, src, dst);
 }
 
-void ScatterRows(Index count, Index cols, const Index* rows, const Scalar* src,
-                 Scalar* dst) {
-  Table()->scatter_rows(count, cols, rows, src, dst);
+template <typename T>
+void ScatterRows(Index count, Index cols, const Index* rows, const T* src,
+                 T* dst) {
+  Table<T>()->scatter_rows(count, cols, rows, src, dst);
 }
+
+// Explicit instantiations: the two supported kernel dtypes.
+#define DIFFODE_INSTANTIATE_KERNELS(T)                                        \
+  template void Gemm<T>(Index, Index, Index, const T*, const T*, T*);         \
+  template void GemmTN<T>(Index, Index, Index, const T*, const T*, T*);       \
+  template void GemmNT<T>(Index, Index, Index, const T*, const T*, T*);       \
+  template void Axpy<T>(Index, T, const T*, T*);                              \
+  template void AddScaled<T>(Index, const T*, T, const T*, T*);               \
+  template void Scale<T>(Index, T, T*);                                       \
+  template T Sum<T>(Index, const T*);                                         \
+  template T Dot<T>(Index, const T*, const T*);                               \
+  template void MapTanh<T>(Index, const T*, T*);                              \
+  template void MapSigmoid<T>(Index, const T*, T*);                           \
+  template void MapExp<T>(Index, const T*, T*);                               \
+  template void MaskedRowUpdate<T>(Index, Index, const unsigned char*,        \
+                                   const T*, T*);                             \
+  template void SelectRows<T>(Index, Index, const Index*, const T*, T*);      \
+  template void ScatterRows<T>(Index, Index, const Index*, const T*, T*)
+
+DIFFODE_INSTANTIATE_KERNELS(double);  // dtype:ok — explicit instantiation
+DIFFODE_INSTANTIATE_KERNELS(float);
+
+#undef DIFFODE_INSTANTIATE_KERNELS
 
 }  // namespace diffode::kernels

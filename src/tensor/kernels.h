@@ -16,18 +16,27 @@ namespace diffode::kernels {
 // without materializing intermediate tensors (notably: no explicit
 // transposes).
 //
-// ISA dispatch: every kernel routes through one of two backends — portable
-// scalar C++ (kernels_scalar.cc) or AVX2+FMA microkernels
-// (kernels_avx2.cc) — selected once at startup by CPUID feature detection,
-// overridable with DIFFODE_KERNEL_ISA=scalar|avx2 (see tensor/simd.h).
+// Dtype: every kernel is a function template over the element type T
+// (double for training/autograd, float for the opt-in serving tier); T is
+// deduced from the pointer arguments, so call sites are unchanged from the
+// pre-template API. Definitions live in kernels.cc with explicit
+// instantiations for double and float.
 //
-// Determinism contract (per ISA): for a fixed input and a fixed ISA, every
-// kernel produces bitwise identical output at any thread count. Parallel
-// kernels partition work by fixed chunk grids (see parallel::ParallelFor)
-// with disjoint writes, and reductions combine fixed-grid partials in chunk
-// order. Switching ISA may move results by rounding-level amounts (FMA,
-// SIMD-lane accumulation); the equivalence between backends is ulp-level,
-// not bitwise, and is pinned by tests/kernels_isa_test.cc.
+// ISA dispatch: every kernel routes through one of three backends — portable
+// scalar C++ (kernels_scalar.cc), AVX2+FMA microkernels (kernels_avx2.cc),
+// or AVX-512 microkernels (kernels_avx512.cc) — selected once at startup by
+// CPUID feature detection, overridable with
+// DIFFODE_KERNEL_ISA=scalar|avx2|avx512 (see tensor/simd.h). Auto-dispatch
+// caps at AVX2; the AVX-512 tier is opt-in via the override or SetActiveIsa.
+//
+// Determinism contract (per ISA, per dtype): for a fixed input, a fixed ISA,
+// and a fixed dtype, every kernel produces bitwise identical output at any
+// thread count. Parallel kernels partition work by fixed chunk grids (see
+// parallel::ParallelFor) with disjoint writes, and reductions combine
+// fixed-grid partials in chunk order. Switching ISA may move results by
+// rounding-level amounts (FMA, SIMD-lane accumulation); the equivalence
+// between backends is ulp-level, not bitwise, and is pinned by
+// tests/kernels_isa_test.cc for both dtypes.
 
 // Elementwise work (maps, zips, vector ops) below this many elements stays
 // on the calling thread. Purely a parallelization threshold: elementwise
@@ -42,60 +51,70 @@ inline constexpr Index kElementwiseGrain = 16384;
 // per 4096-element chunk and combine the partials in chunk order; changing
 // the grid changes the combination tree and therefore the bit pattern of
 // every reduction result, silently invalidating any stored golden values.
-// It must stay 4096.
+// It must stay 4096 (for every dtype).
 inline constexpr Index kReductionGrain = 4096;
 
 // C (m x n) = A (m x k) * B (k x n). All row-major, C is overwritten.
-void Gemm(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
-          Scalar* c);
+template <typename T>
+void Gemm(Index m, Index k, Index n, const T* a, const T* b, T* c);
 
 // C (m x n) = A^T * B where A is stored (k x m) row-major — the backward
 // pass "A^T G" without materializing the transpose.
-void GemmTN(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
-            Scalar* c);
+template <typename T>
+void GemmTN(Index m, Index k, Index n, const T* a, const T* b, T* c);
 
 // C (m x n) = A * B^T where A is (m x k) and B is stored (n x k) row-major —
 // the backward pass "G B^T" without materializing the transpose.
-void GemmNT(Index m, Index k, Index n, const Scalar* a, const Scalar* b,
-            Scalar* c);
+template <typename T>
+void GemmNT(Index m, Index k, Index n, const T* a, const T* b, T* c);
 
 // y += alpha * x.
-void Axpy(Index n, Scalar alpha, const Scalar* x, Scalar* y);
+template <typename T>
+void Axpy(Index n, T alpha, const T* x, T* y);
 
 // out = x + alpha * y (fused; out may alias x).
-void AddScaled(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
-               Scalar* out);
+template <typename T>
+void AddScaled(Index n, const T* x, T alpha, const T* y, T* out);
 
 // x *= alpha.
-void Scale(Index n, Scalar alpha, Scalar* x);
+template <typename T>
+void Scale(Index n, T alpha, T* x);
 
 // Deterministic blocked reductions (fixed kReductionGrain partial grid).
-Scalar Sum(Index n, const Scalar* x);
-Scalar Dot(Index n, const Scalar* x, const Scalar* y);
+template <typename T>
+T Sum(Index n, const T* x);
+template <typename T>
+T Dot(Index n, const T* x, const T* y);
 
 // ISA-dispatched transcendental maps (out may alias x). These are the hot
 // functions of the GRU encoder, MLP heads, and softmax/Hoyer pipeline; the
-// AVX2 backend evaluates them 4 lanes at a time.
-void MapTanh(Index n, const Scalar* x, Scalar* out);
-void MapSigmoid(Index n, const Scalar* x, Scalar* out);
-void MapExp(Index n, const Scalar* x, Scalar* out);
+// AVX2 backend evaluates them 4 double (8 float) lanes at a time.
+template <typename T>
+void MapTanh(Index n, const T* x, T* out);
+template <typename T>
+void MapSigmoid(Index n, const T* x, T* out);
+template <typename T>
+void MapExp(Index n, const T* x, T* out);
 
 // Batched-row movement for the lockstep execution engine (docs/performance.md
 // "Execution batching"). All three are pure row copies — no arithmetic — so
-// every backend produces bitwise-identical results; the AVX2 backend only
-// widens the moves. Serial: a serving batch is at most a few hundred rows.
+// every backend produces bitwise-identical results; the SIMD backends only
+// widen the moves. Serial: a serving batch is at most a few hundred rows.
 //
 // dst[r] = src[r] for every row whose mask byte is non-zero (a masked jump
 // costs a row copy, not a branch per element); masked-off rows untouched.
+template <typename T>
 void MaskedRowUpdate(Index rows, Index cols, const unsigned char* mask,
-                     const Scalar* src, Scalar* dst);
+                     const T* src, T* dst);
 // dst[i] = src[rows[i]]: gather `count` rows of a (· x cols) matrix into a
 // packed (count x cols) block.
-void SelectRows(Index count, Index cols, const Index* rows, const Scalar* src,
-                Scalar* dst);
+template <typename T>
+void SelectRows(Index count, Index cols, const Index* rows, const T* src,
+                T* dst);
 // dst[rows[i]] = src[i]: scatter a packed (count x cols) block back.
-void ScatterRows(Index count, Index cols, const Index* rows, const Scalar* src,
-                 Scalar* dst);
+template <typename T>
+void ScatterRows(Index count, Index cols, const Index* rows, const T* src,
+                 T* dst);
 
 namespace ops {
 
@@ -104,13 +123,22 @@ namespace ops {
 // arbitrary functors/lambdas take the generic inlined scalar loop. Call
 // sites simply write kernels::Map(n, x, out, ops::Tanh{}).
 struct Tanh {
-  Scalar operator()(Scalar x) const { return std::tanh(x); }
+  template <typename T>
+  T operator()(T x) const {
+    return std::tanh(x);
+  }
 };
 struct Sigmoid {
-  Scalar operator()(Scalar x) const { return 1.0 / (1.0 + std::exp(-x)); }
+  template <typename T>
+  T operator()(T x) const {
+    return T(1) / (T(1) + std::exp(-x));
+  }
 };
 struct Exp {
-  Scalar operator()(Scalar x) const { return std::exp(x); }
+  template <typename T>
+  T operator()(T x) const {
+    return std::exp(x);
+  }
 };
 
 }  // namespace ops
@@ -118,8 +146,8 @@ struct Exp {
 // out[i] = fn(x[i]). Templated functor dispatch: the loop body inlines the
 // functor, unlike Tensor::Map's std::function-per-element indirection.
 // The ops:: functor types divert to the vectorized maps. out may alias x.
-template <typename F>
-void Map(Index n, const Scalar* x, Scalar* out, F fn) {
+template <typename T, typename F>
+void Map(Index n, const T* x, T* out, F fn) {
   if constexpr (std::is_same_v<F, ops::Tanh>) {
     MapTanh(n, x, out);
   } else if constexpr (std::is_same_v<F, ops::Sigmoid>) {
@@ -136,8 +164,8 @@ void Map(Index n, const Scalar* x, Scalar* out, F fn) {
 }
 
 // out[i] = fn(x[i], y[i]). out may alias either input.
-template <typename F>
-void Zip(Index n, const Scalar* x, const Scalar* y, Scalar* out, F fn) {
+template <typename T, typename F>
+void Zip(Index n, const T* x, const T* y, T* out, F fn) {
   if (n >= kElementwiseGrain) {
     parallel::ParallelFor(0, n, kElementwiseGrain, [&](Index b, Index e) {
       for (Index i = b; i < e; ++i) out[i] = fn(x[i], y[i]);

@@ -1,7 +1,13 @@
-// AVX2+FMA backend for the kernel layer. This translation unit is the only
-// one compiled with -mavx2 -mfma (see src/tensor/CMakeLists.txt); everything
-// else in the tree stays portable and the scalar backend in
-// kernels_scalar.cc is the guaranteed fallback.
+// AVX2+FMA backend for the kernel layer. This translation unit is compiled
+// with -mavx2 -mfma (see src/tensor/CMakeLists.txt); everything else in the
+// tree stays portable and the scalar backend in kernels_scalar.cc is the
+// guaranteed fallback.
+//
+// Two dtypes: the f64 kernels are the PR-3 microkernels, unchanged and
+// bitwise-stable; the f32 kernels mirror them at 8 lanes per vector, which
+// is where the serving tier's ~2x FLOP density comes from. The vector
+// transcendentals live in kernels_x86_math.h, shared with the AVX-512
+// backend.
 //
 // Determinism: the panel/range functions here obey the contract documented
 // in kernels_isa.h — each output element is computed by a fixed sequence of
@@ -19,9 +25,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
+
+#include "tensor/kernels_x86_math.h"
 
 namespace diffode::kernels::detail {
 namespace {
+
+using x86math::TailMaskPd;
+using x86math::TailMaskPs;
 
 // ---------------------------------------------------------------------------
 // Shared helpers.
@@ -34,20 +46,22 @@ inline double HSum(__m256d v) {
   return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
 }
 
-// Load/store mask covering the first `t` (1..3) lanes of a tail.
-inline __m256i TailMask(Index t) {
-  alignas(32) static const std::int64_t kMask[8] = {-1, -1, -1, -1,
-                                                    0,  0,  0,  0};
-  return _mm256_loadu_si256(
-      reinterpret_cast<const __m256i*>(kMask + 4 - static_cast<int>(t)));
+// Fixed horizontal sum of 8 float lanes: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+inline float HSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 quad = _mm_add_ps(lo, hi);
+  const __m128 pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+  return _mm_cvtss_f32(
+      _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, _MM_SHUFFLE(1, 1, 1, 1))));
 }
 
 // ---------------------------------------------------------------------------
-// GEMM: C = A * B. Register-blocked 8x4 microkernel (8 row accumulators ×
-// one 4-wide vector of C columns, held in ymm registers across the whole k
-// loop), with 4/2/1-row variants for the row tail and a scalar column tail.
-// A is read by broadcast (contiguous per row), B by 4-wide row vectors, so
-// the N variant needs no packing.
+// GEMM: C = A * B. Register-blocked 8x4 (f64) / 8x8 (f32) microkernel — 8
+// row accumulators × one vector of C columns, held in ymm registers across
+// the whole k loop — with 4/2/1-row variants for the row tail and a scalar
+// column tail. A is read by broadcast (contiguous per row), B by row
+// vectors, so the N variant needs no packing.
 
 template <int MR>
 inline void MicroN(Index k, const double* a, Index lda, const double* b,
@@ -64,27 +78,75 @@ inline void MicroN(Index k, const double* a, Index lda, const double* b,
 }
 
 template <int MR>
-inline void RowBlockN(Index i, Index k, Index n, Index n4, const double* a,
-                      const double* b, double* c) {
-  for (Index j = 0; j < n4; j += 4)
+inline void MicroN(Index k, const float* a, Index lda, const float* b,
+                   Index ldb, float* c, Index ldc) {
+  __m256 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm256_setzero_ps();
+  for (Index p = 0; p < k; ++p) {
+    const __m256 bv = _mm256_loadu_ps(b + p * ldb);
+    for (int r = 0; r < MR; ++r)
+      acc[r] =
+          _mm256_fmadd_ps(_mm256_broadcast_ss(a + r * lda + p), bv, acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) _mm256_storeu_ps(c + r * ldc, acc[r]);
+}
+
+// Masked-column variant for the f32 column tail: the same ascending-p fma
+// chain per lane with the mask confined to loads/stores, so each surviving
+// column is computed exactly as a full vector would compute it. The f32
+// serving shapes make this matter — d_h = 12 puts a third of the output
+// columns past the 8-lane boundary, and a scalar tail there costs more than
+// the vector body. The f64 kernels keep their scalar tail: those bits have
+// been frozen since the AVX2 backend landed and the 4-lane boundary already
+// divides the common f64 shapes.
+template <int MR>
+inline void MicroNMasked(Index k, Index t, const float* a, Index lda,
+                         const float* b, Index ldb, float* c, Index ldc) {
+  const __m256i mask = TailMaskPs(t);
+  __m256 acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = _mm256_setzero_ps();
+  for (Index p = 0; p < k; ++p) {
+    const __m256 bv = _mm256_maskload_ps(b + p * ldb, mask);
+    for (int r = 0; r < MR; ++r)
+      acc[r] =
+          _mm256_fmadd_ps(_mm256_broadcast_ss(a + r * lda + p), bv, acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) _mm256_maskstore_ps(c + r * ldc, mask, acc[r]);
+}
+
+// Vector width (elements) per dtype; the column blocking below is expressed
+// in units of kVW so both dtypes share the panel structure.
+template <typename T>
+inline constexpr Index kVW = Index{32} / static_cast<Index>(sizeof(T));
+
+template <int MR, typename T>
+inline void RowBlockN(Index i, Index k, Index n, Index nv, const T* a,
+                      const T* b, T* c) {
+  constexpr Index W = kVW<T>;
+  for (Index j = 0; j < nv; j += W)
     MicroN<MR>(k, a + i * k, k, b + j, n, c + i * n + j, n);
-  for (Index j = n4; j < n; ++j) {
-    for (int r = 0; r < MR; ++r) {
-      const double* ar = a + (i + r) * k;
-      double s = 0.0;
-      for (Index p = 0; p < k; ++p) s += ar[p] * b[p * n + j];
-      c[(i + r) * n + j] = s;
+  if constexpr (std::is_same_v<T, float>) {
+    if (nv < n)
+      MicroNMasked<MR>(k, n - nv, a + i * k, k, b + nv, n, c + i * n + nv, n);
+  } else {
+    for (Index j = nv; j < n; ++j) {
+      for (int r = 0; r < MR; ++r) {
+        const T* ar = a + (i + r) * k;
+        T s = T(0);
+        for (Index p = 0; p < k; ++p) s += ar[p] * b[p * n + j];
+        c[(i + r) * n + j] = s;
+      }
     }
   }
 }
 
 // Single-row fast path: the 1 x n output row is held across up to 8 column
 // accumulator vectors in one k loop, so each a[p] broadcast is shared by up
-// to 32 columns instead of the 4 a MicroN<1> column group sees. This is the
-// dominant GEMM shape at inference — ODE states and RNN hidden states are
-// 1 x d rows against d x d weights. Per element the arithmetic is the same
-// ascending-p fma chain as MicroN<1>, so mixing this path with the blocked
-// path keeps output bitwise identical.
+// to 8 vectors of columns instead of the one a MicroN<1> column group sees.
+// This is the dominant GEMM shape at inference — ODE states and RNN hidden
+// states are 1 x d rows against d x d weights. Per element the arithmetic is
+// the same ascending-p fma chain as MicroN<1>, so mixing this path with the
+// blocked path keeps output bitwise identical.
 template <int NV>
 inline void Row1Block(Index k, Index n, const double* a, const double* b,
                       double* c) {
@@ -99,41 +161,61 @@ inline void Row1Block(Index k, Index n, const double* a, const double* b,
   for (int v = 0; v < NV; ++v) _mm256_storeu_pd(c + 4 * v, acc[v]);
 }
 
-inline void GemmRow1(Index k, Index n, const double* a, const double* b,
-                     double* c) {
-  const Index n4 = n & ~Index{3};
+template <int NV>
+inline void Row1Block(Index k, Index n, const float* a, const float* b,
+                      float* c) {
+  __m256 acc[NV];
+  for (int v = 0; v < NV; ++v) acc[v] = _mm256_setzero_ps();
+  for (Index p = 0; p < k; ++p) {
+    const __m256 av = _mm256_broadcast_ss(a + p);
+    const float* br = b + p * n;
+    for (int v = 0; v < NV; ++v)
+      acc[v] = _mm256_fmadd_ps(av, _mm256_loadu_ps(br + 8 * v), acc[v]);
+  }
+  for (int v = 0; v < NV; ++v) _mm256_storeu_ps(c + 8 * v, acc[v]);
+}
+
+template <typename T>
+inline void GemmRow1(Index k, Index n, const T* a, const T* b, T* c) {
+  constexpr Index W = kVW<T>;
+  const Index nv = n & ~(W - 1);
   Index j = 0;
-  for (; j + 32 <= n4; j += 32) Row1Block<8>(k, n, a, b + j, c + j);
-  if (n4 - j >= 16) {
+  for (; j + 8 * W <= nv; j += 8 * W) Row1Block<8>(k, n, a, b + j, c + j);
+  if (nv - j >= 4 * W) {
     Row1Block<4>(k, n, a, b + j, c + j);
-    j += 16;
+    j += 4 * W;
   }
-  if (n4 - j >= 8) {
+  if (nv - j >= 2 * W) {
     Row1Block<2>(k, n, a, b + j, c + j);
-    j += 8;
+    j += 2 * W;
   }
-  if (n4 - j >= 4) {
+  if (nv - j >= W) {
     Row1Block<1>(k, n, a, b + j, c + j);
-    j += 4;
+    j += W;
   }
-  for (; j < n; ++j) {
-    double s = 0.0;
-    for (Index p = 0; p < k; ++p) s += a[p] * b[p * n + j];
-    c[j] = s;
+  if constexpr (std::is_same_v<T, float>) {
+    if (j < n) MicroNMasked<1>(k, n - j, a, k, b + j, n, c + j, n);
+  } else {
+    for (; j < n; ++j) {
+      T s = T(0);
+      for (Index p = 0; p < k; ++p) s += a[p] * b[p * n + j];
+      c[j] = s;
+    }
   }
 }
 
-void GemmPanelAvx2(Index i0, Index i1, Index k, Index n, const double* a,
-                   const double* b, double* c) {
-  const Index n4 = n & ~Index{3};
+template <typename T>
+void GemmPanelAvx2(Index i0, Index i1, Index k, Index n, const T* a,
+                   const T* b, T* c) {
+  const Index nv = n & ~(kVW<T> - 1);
   Index i = i0;
-  for (; i + 8 <= i1; i += 8) RowBlockN<8>(i, k, n, n4, a, b, c);
+  for (; i + 8 <= i1; i += 8) RowBlockN<8>(i, k, n, nv, a, b, c);
   if (i1 - i >= 4) {
-    RowBlockN<4>(i, k, n, n4, a, b, c);
+    RowBlockN<4>(i, k, n, nv, a, b, c);
     i += 4;
   }
   if (i1 - i >= 2) {
-    RowBlockN<2>(i, k, n, n4, a, b, c);
+    RowBlockN<2>(i, k, n, nv, a, b, c);
     i += 2;
   }
   if (i1 - i >= 1) GemmRow1(k, n, a + i * k, b, c + i * n);
@@ -142,14 +224,14 @@ void GemmPanelAvx2(Index i0, Index i1, Index k, Index n, const double* a,
 // ---------------------------------------------------------------------------
 // GemmTN: C = A^T * B with A stored (k x m). Reading A down a column touches
 // a new cache line every step, so each row block packs its A panel into a
-// contiguous (kc x MR) buffer once and reuses it across all n/4 microkernel
-// invocations. k is blocked at kKc to bound the pack buffer; C accumulates
-// across k-blocks in increasing p order, which keeps per-element arithmetic
-// independent of the blocking. The first k-block starts its accumulators at
-// zero instead of loading C (same arithmetic: (0 + block0) + block1 + ...),
-// so the common k <= kKc case touches C exactly once — no zero-fill pass,
-// no reload. Backward weight gradients call this with tiny k, where those
-// extra C passes used to dominate.
+// contiguous (kc x MR) buffer once and reuses it across all column-vector
+// microkernel invocations. k is blocked at kKc to bound the pack buffer; C
+// accumulates across k-blocks in increasing p order, which keeps per-element
+// arithmetic independent of the blocking. The first k-block starts its
+// accumulators at zero instead of loading C (same arithmetic:
+// (0 + block0) + block1 + ...), so the common k <= kKc case touches C
+// exactly once — no zero-fill pass, no reload. Backward weight gradients
+// call this with tiny k, where those extra C passes used to dominate.
 
 constexpr Index kKc = 256;
 
@@ -172,59 +254,108 @@ inline void MicroPackedA(bool first, Index pc, const double* ap,
 }
 
 template <int MR>
-inline void RowBlockTN(bool first, Index i, Index m, Index n, Index n4,
-                       Index p0, Index pc, const double* a, const double* b,
-                       double* c, double* apack) {
+inline void MicroPackedA(bool first, Index pc, const float* ap, const float* b,
+                         Index ldb, float* c, Index ldc) {
+  __m256 acc[MR];
+  if (first) {
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_setzero_ps();
+  } else {
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_loadu_ps(c + r * ldc);
+  }
   for (Index p = 0; p < pc; ++p) {
-    const double* src = a + (p0 + p) * m + i;
+    const __m256 bv = _mm256_loadu_ps(b + p * ldb);
+    for (int r = 0; r < MR; ++r)
+      acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + p * MR + r), bv,
+                               acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) _mm256_storeu_ps(c + r * ldc, acc[r]);
+}
+
+// Masked f32 column tail for the packed-A microkernel, mirroring
+// MicroNMasked (same rationale; the f64 tail stays scalar and bit-frozen).
+template <int MR>
+inline void MicroPackedAMasked(bool first, Index pc, Index t, const float* ap,
+                               const float* b, Index ldb, float* c,
+                               Index ldc) {
+  const __m256i mask = TailMaskPs(t);
+  __m256 acc[MR];
+  if (first) {
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_setzero_ps();
+  } else {
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_maskload_ps(c + r * ldc, mask);
+  }
+  for (Index p = 0; p < pc; ++p) {
+    const __m256 bv = _mm256_maskload_ps(b + p * ldb, mask);
+    for (int r = 0; r < MR; ++r)
+      acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(ap + p * MR + r), bv,
+                               acc[r]);
+  }
+  for (int r = 0; r < MR; ++r) _mm256_maskstore_ps(c + r * ldc, mask, acc[r]);
+}
+
+template <int MR, typename T>
+inline void RowBlockTN(bool first, Index i, Index m, Index n, Index nv,
+                       Index p0, Index pc, const T* a, const T* b, T* c,
+                       T* apack) {
+  constexpr Index W = kVW<T>;
+  for (Index p = 0; p < pc; ++p) {
+    const T* src = a + (p0 + p) * m + i;
     for (int r = 0; r < MR; ++r) apack[p * MR + r] = src[r];
   }
-  for (Index j = 0; j < n4; j += 4)
+  for (Index j = 0; j < nv; j += W)
     MicroPackedA<MR>(first, pc, apack, b + p0 * n + j, n, c + i * n + j, n);
-  for (Index j = n4; j < n; ++j) {
-    for (int r = 0; r < MR; ++r) {
-      double s = first ? 0.0 : c[(i + r) * n + j];
-      for (Index p = 0; p < pc; ++p)
-        s += apack[p * MR + r] * b[(p0 + p) * n + j];
-      c[(i + r) * n + j] = s;
+  if constexpr (std::is_same_v<T, float>) {
+    if (nv < n)
+      MicroPackedAMasked<MR>(first, pc, n - nv, apack, b + p0 * n + nv, n,
+                             c + i * n + nv, n);
+  } else {
+    for (Index j = nv; j < n; ++j) {
+      for (int r = 0; r < MR; ++r) {
+        T s = first ? T(0) : c[(i + r) * n + j];
+        for (Index p = 0; p < pc; ++p)
+          s += apack[p * MR + r] * b[(p0 + p) * n + j];
+        c[(i + r) * n + j] = s;
+      }
     }
   }
 }
 
+template <typename T>
 void GemmTNPanelAvx2(Index i0, Index i1, Index m, Index k, Index n,
-                     const double* a, const double* b, double* c) {
+                     const T* a, const T* b, T* c) {
   if (k == 0) {
-    std::fill(c + i0 * n, c + i1 * n, 0.0);
+    std::fill(c + i0 * n, c + i1 * n, T(0));
     return;
   }
-  const Index n4 = n & ~Index{3};
-  alignas(32) double apack[kKc * 8];
+  const Index nv = n & ~(kVW<T> - 1);
+  alignas(32) T apack[kKc * 8];
   for (Index p0 = 0; p0 < k; p0 += kKc) {
     const bool first = p0 == 0;
     const Index pc = std::min(k - p0, kKc);
     Index i = i0;
     for (; i + 8 <= i1; i += 8)
-      RowBlockTN<8>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+      RowBlockTN<8>(first, i, m, n, nv, p0, pc, a, b, c, apack);
     if (i1 - i >= 4) {
-      RowBlockTN<4>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+      RowBlockTN<4>(first, i, m, n, nv, p0, pc, a, b, c, apack);
       i += 4;
     }
     if (i1 - i >= 2) {
-      RowBlockTN<2>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+      RowBlockTN<2>(first, i, m, n, nv, p0, pc, a, b, c, apack);
       i += 2;
     }
     if (i1 - i >= 1)
-      RowBlockTN<1>(first, i, m, n, n4, p0, pc, a, b, c, apack);
+      RowBlockTN<1>(first, i, m, n, nv, p0, pc, a, b, c, apack);
   }
 }
 
 // ---------------------------------------------------------------------------
 // GemmNT: C = A * B^T with B stored (n x k). Both operands are contiguous
 // along k, so instead of packing, the microkernel vectorizes the reduction
-// axis itself: each output element owns one 4-lane accumulator (lane l sums
-// the p ≡ l terms) finished by the fixed HSum plus a scalar k-tail. A 2x4
-// element block shares the a/b row loads; the arithmetic per element is that
-// of VecDot regardless of the blocking, so row pairing never changes bits.
+// axis itself: each output element owns one vector accumulator (lane l sums
+// the p ≡ l terms) finished by the fixed HSum — plus a scalar k-tail for
+// f64, or one masked vector step for f32 (see NTBlock4). A 2x4 element
+// block shares the a/b row loads; the arithmetic per element is that of
+// VecDot regardless of the blocking, so row pairing never changes bits.
 
 inline double VecDot(Index k, const double* x, const double* y) {
   const Index k4 = k & ~Index{3};
@@ -234,6 +365,19 @@ inline double VecDot(Index k, const double* x, const double* y) {
   double s = HSum(acc);
   for (Index p = k4; p < k; ++p) s += x[p] * y[p];
   return s;
+}
+
+inline float VecDot(Index k, const float* x, const float* y) {
+  const Index k8 = k & ~Index{7};
+  __m256 acc = _mm256_setzero_ps();
+  for (Index p = 0; p < k8; p += 8)
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + p), _mm256_loadu_ps(y + p), acc);
+  if (k8 < k) {
+    const __m256i mask = TailMaskPs(k - k8);
+    acc = _mm256_fmadd_ps(_mm256_maskload_ps(x + k8, mask),
+                          _mm256_maskload_ps(y + k8, mask), acc);
+  }
+  return HSum(acc);
 }
 
 template <int MR>
@@ -263,8 +407,45 @@ inline void NTBlock4(Index i, Index j, Index k, Index n, const double* a,
   }
 }
 
-void GemmNTPanelAvx2(Index i0, Index i1, Index k, Index n, const double* a,
-                     const double* b, double* c) {
+// The f32 variant folds the k-tail into the lane accumulators with a masked
+// load (lane l still sums the p ≡ l terms; masked-off lanes contribute
+// exactly zero), so the only scalar work left is the fixed HSum. This must
+// stay arithmetic-identical to the f32 VecDot below — the blocking contract
+// is that row pairing never changes an element's bits.
+template <int MR>
+inline void NTBlock4(Index i, Index j, Index k, Index n, const float* a,
+                     const float* b, float* c) {
+  const Index k8 = k & ~Index{7};
+  __m256 acc[MR][4];
+  for (int r = 0; r < MR; ++r)
+    for (int jj = 0; jj < 4; ++jj) acc[r][jj] = _mm256_setzero_ps();
+  for (Index p = 0; p < k8; p += 8) {
+    __m256 av[MR];
+    for (int r = 0; r < MR; ++r) av[r] = _mm256_loadu_ps(a + (i + r) * k + p);
+    for (int jj = 0; jj < 4; ++jj) {
+      const __m256 bv = _mm256_loadu_ps(b + (j + jj) * k + p);
+      for (int r = 0; r < MR; ++r)
+        acc[r][jj] = _mm256_fmadd_ps(av[r], bv, acc[r][jj]);
+    }
+  }
+  if (k8 < k) {
+    const __m256i mask = TailMaskPs(k - k8);
+    __m256 av[MR];
+    for (int r = 0; r < MR; ++r)
+      av[r] = _mm256_maskload_ps(a + (i + r) * k + k8, mask);
+    for (int jj = 0; jj < 4; ++jj) {
+      const __m256 bv = _mm256_maskload_ps(b + (j + jj) * k + k8, mask);
+      for (int r = 0; r < MR; ++r)
+        acc[r][jj] = _mm256_fmadd_ps(av[r], bv, acc[r][jj]);
+    }
+  }
+  for (int r = 0; r < MR; ++r)
+    for (int jj = 0; jj < 4; ++jj) c[(i + r) * n + j + jj] = HSum(acc[r][jj]);
+}
+
+template <typename T>
+void GemmNTPanelAvx2(Index i0, Index i1, Index k, Index n, const T* a,
+                     const T* b, T* c) {
   const Index n4 = n & ~Index{3};
   Index i = i0;
   for (; i + 2 <= i1; i += 2) {
@@ -294,6 +475,16 @@ void AxpyRangeAvx2(Index n, double alpha, const double* x, double* y) {
   for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
+void AxpyRangeAvx2F32(Index n, float alpha, const float* x, float* y) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
 void AddScaledRangeAvx2(Index n, const double* x, double alpha,
                         const double* y, double* out) {
   const __m256d av = _mm256_set1_pd(alpha);
@@ -305,6 +496,17 @@ void AddScaledRangeAvx2(Index n, const double* x, double alpha,
   for (; i < n; ++i) out[i] = x[i] + alpha * y[i];
 }
 
+void AddScaledRangeAvx2F32(Index n, const float* x, float alpha,
+                           const float* y, float* out) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(
+        out + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(y + i),
+                                 _mm256_loadu_ps(x + i)));
+  for (; i < n; ++i) out[i] = x[i] + alpha * y[i];
+}
+
 void ScaleRangeAvx2(Index n, double alpha, double* x) {
   const __m256d av = _mm256_set1_pd(alpha);
   Index i = 0;
@@ -313,8 +515,16 @@ void ScaleRangeAvx2(Index n, double alpha, double* x) {
   for (; i < n; ++i) x[i] *= alpha;
 }
 
-// Reduction partials over one fixed-grid chunk: two 4-lane accumulator
-// chains (lane = p mod 4 within each chain), combined in a fixed order, then
+void ScaleRangeAvx2F32(Index n, float alpha, float* x) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+// Reduction partials over one fixed-grid chunk: two vector accumulator
+// chains (lane = p mod W within each chain), combined in a fixed order, then
 // the scalar tail in element order. The chunk grid itself lives in
 // kernels.cc; this only fixes the intra-chunk association.
 
@@ -328,6 +538,20 @@ double SumRangeAvx2(Index n, const double* x) {
     acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(x + i + 4));
   }
   double s = HSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+float SumRangeAvx2F32(Index n, const float* x) {
+  const Index n16 = n & ~Index{15};
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  Index i = 0;
+  for (; i < n16; i += 16) {
+    acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(x + i));
+    acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(x + i + 8));
+  }
+  float s = HSum(_mm256_add_ps(acc0, acc1));
   for (; i < n; ++i) s += x[i];
   return s;
 }
@@ -348,109 +572,48 @@ double DotRangeAvx2(Index n, const double* x, const double* y) {
   return s;
 }
 
-// ---------------------------------------------------------------------------
-// Vector transcendentals. ExpPd is a Cephes-style exp: round-to-nearest
-// argument reduction against a two-part ln2, a rational approximation of
-// exp(r) on |r| <= ln2/2 (~1 ulp), and reconstruction by two half-exponent
-// scalings so borderline arguments (|x| near 709) neither overflow the
-// exponent field nor flush prematurely. Inputs beyond the true overflow /
-// total-underflow thresholds are blended to inf / 0; NaN propagates.
-
-inline __m256d ExpPd(__m256d x) {
-  const __m256d n_f = _mm256_round_pd(
-      _mm256_mul_pd(x, _mm256_set1_pd(1.44269504088896340736)),
-      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  __m256d r = _mm256_fnmadd_pd(n_f, _mm256_set1_pd(6.93145751953125e-1), x);
-  r = _mm256_fnmadd_pd(n_f, _mm256_set1_pd(1.42860682030941723212e-6), r);
-  const __m256d rr = _mm256_mul_pd(r, r);
-  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
-  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(3.02994407707441961300e-2));
-  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(9.99999999999999999910e-1));
-  p = _mm256_mul_pd(p, r);
-  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
-  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.52448340349684104192e-3));
-  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.27265548208155028766e-1));
-  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.0));
-  __m256d e = _mm256_div_pd(p, _mm256_sub_pd(q, p));
-  e = _mm256_fmadd_pd(e, _mm256_set1_pd(2.0), _mm256_set1_pd(1.0));
-  // e *= 2^n via two factors 2^(n/2) and 2^(n - n/2): each factor's biased
-  // exponent stays in the normal range for every n that can reach here.
-  const __m128i n_i = _mm256_cvtpd_epi32(n_f);
-  const __m128i n_half = _mm_srai_epi32(n_i, 1);
-  const __m128i bias = _mm_set1_epi32(1023);
-  const __m256i f0 = _mm256_slli_epi64(
-      _mm256_cvtepi32_epi64(_mm_add_epi32(n_half, bias)), 52);
-  const __m256i f1 = _mm256_slli_epi64(
-      _mm256_cvtepi32_epi64(
-          _mm_add_epi32(_mm_sub_epi32(n_i, n_half), bias)), 52);
-  e = _mm256_mul_pd(_mm256_mul_pd(e, _mm256_castsi256_pd(f0)),
-                    _mm256_castsi256_pd(f1));
-  // exp overflows above ln(DBL_MAX) and is exactly 0 below the subnormal
-  // floor; in between the two-factor scaling produces gradual underflow.
-  const __m256d inf = _mm256_set1_pd(__builtin_inf());
-  e = _mm256_blendv_pd(
-      e, inf, _mm256_cmp_pd(x, _mm256_set1_pd(709.782712893384), _CMP_GT_OQ));
-  e = _mm256_blendv_pd(
-      e, _mm256_setzero_pd(),
-      _mm256_cmp_pd(x, _mm256_set1_pd(-745.2), _CMP_LT_OQ));
-  return e;
-}
-
-// Cephes tanh: odd rational x + x^3 P(x^2)/Q(x^2) for |x| < 0.625, else
-// sign(x) * (1 - 2/(exp(2|x|) + 1)); the small-|x| polynomial avoids the
-// 1 - exp cancellation near zero, the exp branch saturates to ±1 exactly.
-inline __m256d TanhPd(__m256d x) {
-  const __m256d sign_bit = _mm256_set1_pd(-0.0);
-  const __m256d sign = _mm256_and_pd(x, sign_bit);
-  const __m256d z = _mm256_andnot_pd(sign_bit, x);
-  const __m256d s = _mm256_mul_pd(x, x);
-  __m256d pp = _mm256_set1_pd(-9.64399179425052238628e-1);
-  pp = _mm256_fmadd_pd(pp, s, _mm256_set1_pd(-9.92877231001918586564e1));
-  pp = _mm256_fmadd_pd(pp, s, _mm256_set1_pd(-1.61468768441708447952e3));
-  __m256d qq = _mm256_add_pd(s, _mm256_set1_pd(1.12811678491632931402e2));
-  qq = _mm256_fmadd_pd(qq, s, _mm256_set1_pd(2.23548839060100448583e3));
-  qq = _mm256_fmadd_pd(qq, s, _mm256_set1_pd(4.84406305325125486048e3));
-  const __m256d small = _mm256_fmadd_pd(
-      _mm256_mul_pd(s, x), _mm256_div_pd(pp, qq), x);
-  const __m256d one = _mm256_set1_pd(1.0);
-  const __m256d two = _mm256_set1_pd(2.0);
-  const __m256d e = ExpPd(_mm256_mul_pd(z, two));
-  const __m256d big = _mm256_or_pd(
-      _mm256_sub_pd(one, _mm256_div_pd(two, _mm256_add_pd(e, one))), sign);
-  return _mm256_blendv_pd(big, small,
-                          _mm256_cmp_pd(z, _mm256_set1_pd(0.625), _CMP_LT_OQ));
-}
-
-inline __m256d SigmoidPd(__m256d x) {
-  const __m256d one = _mm256_set1_pd(1.0);
-  const __m256d e = ExpPd(_mm256_sub_pd(_mm256_setzero_pd(), x));
-  return _mm256_div_pd(one, _mm256_add_pd(one, e));
-}
-
-// Range driver: full vectors, then one masked vector for the 1..3 tail
-// elements so tails run the identical arithmetic.
-template <__m256d (*F)(__m256d)>
-void MapRange(Index n, const double* x, double* out) {
+float DotRangeAvx2F32(Index n, const float* x, const float* y) {
+  const Index n16 = n & ~Index{15};
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
   Index i = 0;
-  for (; i + 4 <= n; i += 4)
-    _mm256_storeu_pd(out + i, F(_mm256_loadu_pd(x + i)));
-  if (i < n) {
-    const __m256i mask = TailMask(n - i);
-    const __m256d v = _mm256_maskload_pd(x + i, mask);
-    _mm256_maskstore_pd(out + i, mask, F(v));
+  for (; i < n16; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                           _mm256_loadu_ps(y + i + 8), acc1);
   }
+  float s = HSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
 }
+
+// ---------------------------------------------------------------------------
+// Vector transcendentals: thin wrappers around the shared 256-bit functions
+// in kernels_x86_math.h (identical arithmetic on AVX2 and AVX-512).
 
 void TanhRangeAvx2(Index n, const double* x, double* out) {
-  MapRange<TanhPd>(n, x, out);
+  x86math::MapRangePd<x86math::TanhPd>(n, x, out);
 }
 
 void SigmoidRangeAvx2(Index n, const double* x, double* out) {
-  MapRange<SigmoidPd>(n, x, out);
+  x86math::MapRangePd<x86math::SigmoidPd>(n, x, out);
 }
 
 void ExpRangeAvx2(Index n, const double* x, double* out) {
-  MapRange<ExpPd>(n, x, out);
+  x86math::MapRangePd<x86math::ExpPd>(n, x, out);
+}
+
+void TanhRangeAvx2F32(Index n, const float* x, float* out) {
+  x86math::MapRangePs<x86math::TanhPs>(n, x, out);
+}
+
+void SigmoidRangeAvx2F32(Index n, const float* x, float* out) {
+  x86math::MapRangePs<x86math::SigmoidPs>(n, x, out);
+}
+
+void ExpRangeAvx2F32(Index n, const float* x, float* out) {
+  x86math::MapRangePs<x86math::ExpPs>(n, x, out);
 }
 
 // Batched-row movement: vector-wide copies with a masked tail. Copies carry
@@ -460,36 +623,66 @@ inline void CopyRowAvx2(Index cols, const double* s, double* d) {
   for (; j + 4 <= cols; j += 4)
     _mm256_storeu_pd(d + j, _mm256_loadu_pd(s + j));
   if (j < cols) {
-    const __m256i mask = TailMask(cols - j);
+    const __m256i mask = TailMaskPd(cols - j);
     _mm256_maskstore_pd(d + j, mask, _mm256_maskload_pd(s + j, mask));
   }
 }
 
+inline void CopyRowAvx2(Index cols, const float* s, float* d) {
+  Index j = 0;
+  for (; j + 8 <= cols; j += 8)
+    _mm256_storeu_ps(d + j, _mm256_loadu_ps(s + j));
+  if (j < cols) {
+    const __m256i mask = TailMaskPs(cols - j);
+    _mm256_maskstore_ps(d + j, mask, _mm256_maskload_ps(s + j, mask));
+  }
+}
+
+template <typename T>
 void MaskedRowUpdateRowsAvx2(Index rows, Index cols, const unsigned char* mask,
-                             const double* src, double* dst) {
+                             const T* src, T* dst) {
   for (Index r = 0; r < rows; ++r)
     if (mask[r]) CopyRowAvx2(cols, src + r * cols, dst + r * cols);
 }
 
+template <typename T>
 void SelectRowsRangeAvx2(Index count, Index cols, const Index* rows,
-                         const double* src, double* dst) {
+                         const T* src, T* dst) {
   for (Index i = 0; i < count; ++i)
     CopyRowAvx2(cols, src + rows[i] * cols, dst + i * cols);
 }
 
+template <typename T>
 void ScatterRowsRangeAvx2(Index count, Index cols, const Index* rows,
-                          const double* src, double* dst) {
+                          const T* src, T* dst) {
   for (Index i = 0; i < count; ++i)
     CopyRowAvx2(cols, src + i * cols, dst + rows[i] * cols);
 }
 
 }  // namespace
 
-constinit const KernelTable kAvx2Table = {
-    GemmPanelAvx2,   GemmTNPanelAvx2, GemmNTPanelAvx2, AxpyRangeAvx2,
-    AddScaledRangeAvx2, ScaleRangeAvx2, SumRangeAvx2,  DotRangeAvx2,
-    TanhRangeAvx2,   SigmoidRangeAvx2, ExpRangeAvx2,
-    MaskedRowUpdateRowsAvx2, SelectRowsRangeAvx2, ScatterRowsRangeAvx2,
+constinit const KernelTable<double>  // dtype:ok — per-dtype table
+    kAvx2TableF64 = {
+        GemmPanelAvx2<double>,      // dtype:ok — f64 instantiation
+        GemmTNPanelAvx2<double>,    // dtype:ok
+        GemmNTPanelAvx2<double>,    // dtype:ok
+        AxpyRangeAvx2,   AddScaledRangeAvx2, ScaleRangeAvx2,
+        SumRangeAvx2,    DotRangeAvx2,
+        TanhRangeAvx2,   SigmoidRangeAvx2,   ExpRangeAvx2,
+        MaskedRowUpdateRowsAvx2<double>,     // dtype:ok
+        SelectRowsRangeAvx2<double>,         // dtype:ok
+        ScatterRowsRangeAvx2<double>,        // dtype:ok
+};
+
+constinit const KernelTable<float> kAvx2TableF32 = {
+    GemmPanelAvx2<float>,      GemmTNPanelAvx2<float>,
+    GemmNTPanelAvx2<float>,
+    AxpyRangeAvx2F32,          AddScaledRangeAvx2F32, ScaleRangeAvx2F32,
+    SumRangeAvx2F32,           DotRangeAvx2F32,
+    TanhRangeAvx2F32,          SigmoidRangeAvx2F32,   ExpRangeAvx2F32,
+    MaskedRowUpdateRowsAvx2<float>,
+    SelectRowsRangeAvx2<float>,
+    ScatterRowsRangeAvx2<float>,
 };
 
 }  // namespace diffode::kernels::detail

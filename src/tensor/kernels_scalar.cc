@@ -1,8 +1,9 @@
 // Portable scalar backend for the kernel layer. These are the PR-1 blocked
-// loops, unchanged: cache-tiled GEMM panels with a 4-row register kernel,
-// plus straightforward range ops. Kept free of target-specific flags so the
-// scalar ISA is buildable and bit-stable everywhere; the AVX2 backend in
-// kernels_avx2.cc is the one allowed to assume vector hardware.
+// loops, templated on the element type but otherwise unchanged: cache-tiled
+// GEMM panels with a 4-row register kernel, plus straightforward range ops.
+// Kept free of target-specific flags so the scalar ISA is buildable and
+// bit-stable everywhere; the AVX2/AVX-512 backends in kernels_avx2.cc /
+// kernels_avx512.cc are the ones allowed to assume vector hardware.
 
 #include <algorithm>
 #include <cmath>
@@ -14,7 +15,7 @@ namespace {
 
 // Cache tile edge for the GEMM family: a 64x64 double tile is 32 KiB, so an
 // A-panel tile plus the B tile stay resident in L1/L2 while a row panel of C
-// streams through.
+// streams through (a float tile is half that; the same edge works for both).
 constexpr Index kTile = 64;
 
 // One row panel [i0, i1) of C = A * B. For each (k-tile, j-tile) the inner
@@ -22,27 +23,28 @@ constexpr Index kTile = 64;
 // multiply-adds. Accumulation into a given c[i][j] happens in strictly
 // increasing p order regardless of tiling, which keeps results identical for
 // any row partition.
-void GemmPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
-               const Scalar* b, Scalar* c) {
-  std::fill(c + i0 * n, c + i1 * n, 0.0);
+template <typename T>
+void GemmPanel(Index i0, Index i1, Index k, Index n, const T* a, const T* b,
+               T* c) {
+  std::fill(c + i0 * n, c + i1 * n, T(0));
   for (Index p0 = 0; p0 < k; p0 += kTile) {
     const Index p1 = std::min(k, p0 + kTile);
     for (Index j0 = 0; j0 < n; j0 += kTile) {
       const Index j1 = std::min(n, j0 + kTile);
       Index i = i0;
       for (; i + 4 <= i1; i += 4) {
-        Scalar* c0 = c + (i + 0) * n;
-        Scalar* c1 = c + (i + 1) * n;
-        Scalar* c2 = c + (i + 2) * n;
-        Scalar* c3 = c + (i + 3) * n;
+        T* c0 = c + (i + 0) * n;
+        T* c1 = c + (i + 1) * n;
+        T* c2 = c + (i + 2) * n;
+        T* c3 = c + (i + 3) * n;
         for (Index p = p0; p < p1; ++p) {
-          const Scalar a0 = a[(i + 0) * k + p];
-          const Scalar a1 = a[(i + 1) * k + p];
-          const Scalar a2 = a[(i + 2) * k + p];
-          const Scalar a3 = a[(i + 3) * k + p];
-          const Scalar* bp = b + p * n;
+          const T a0 = a[(i + 0) * k + p];
+          const T a1 = a[(i + 1) * k + p];
+          const T a2 = a[(i + 2) * k + p];
+          const T a3 = a[(i + 3) * k + p];
+          const T* bp = b + p * n;
           for (Index j = j0; j < j1; ++j) {
-            const Scalar bj = bp[j];
+            const T bj = bp[j];
             c0[j] += a0 * bj;
             c1[j] += a1 * bj;
             c2[j] += a2 * bj;
@@ -51,10 +53,10 @@ void GemmPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
         }
       }
       for (; i < i1; ++i) {
-        Scalar* ci = c + i * n;
+        T* ci = c + i * n;
         for (Index p = p0; p < p1; ++p) {
-          const Scalar aip = a[i * k + p];
-          const Scalar* bp = b + p * n;
+          const T aip = a[i * k + p];
+          const T* bp = b + p * n;
           for (Index j = j0; j < j1; ++j) ci[j] += aip * bp[j];
         }
       }
@@ -64,28 +66,29 @@ void GemmPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
 
 // One row panel of C = A^T * B with A stored (k x m): identical structure to
 // GemmPanel but A is read down its columns (stride m).
-void GemmTNPanel(Index i0, Index i1, Index m, Index k, Index n,
-                 const Scalar* a, const Scalar* b, Scalar* c) {
-  std::fill(c + i0 * n, c + i1 * n, 0.0);
+template <typename T>
+void GemmTNPanel(Index i0, Index i1, Index m, Index k, Index n, const T* a,
+                 const T* b, T* c) {
+  std::fill(c + i0 * n, c + i1 * n, T(0));
   for (Index p0 = 0; p0 < k; p0 += kTile) {
     const Index p1 = std::min(k, p0 + kTile);
     for (Index j0 = 0; j0 < n; j0 += kTile) {
       const Index j1 = std::min(n, j0 + kTile);
       Index i = i0;
       for (; i + 4 <= i1; i += 4) {
-        Scalar* c0 = c + (i + 0) * n;
-        Scalar* c1 = c + (i + 1) * n;
-        Scalar* c2 = c + (i + 2) * n;
-        Scalar* c3 = c + (i + 3) * n;
+        T* c0 = c + (i + 0) * n;
+        T* c1 = c + (i + 1) * n;
+        T* c2 = c + (i + 2) * n;
+        T* c3 = c + (i + 3) * n;
         for (Index p = p0; p < p1; ++p) {
-          const Scalar* ap = a + p * m + i;
-          const Scalar a0 = ap[0];
-          const Scalar a1 = ap[1];
-          const Scalar a2 = ap[2];
-          const Scalar a3 = ap[3];
-          const Scalar* bp = b + p * n;
+          const T* ap = a + p * m + i;
+          const T a0 = ap[0];
+          const T a1 = ap[1];
+          const T a2 = ap[2];
+          const T a3 = ap[3];
+          const T* bp = b + p * n;
           for (Index j = j0; j < j1; ++j) {
-            const Scalar bj = bp[j];
+            const T bj = bp[j];
             c0[j] += a0 * bj;
             c1[j] += a1 * bj;
             c2[j] += a2 * bj;
@@ -94,10 +97,10 @@ void GemmTNPanel(Index i0, Index i1, Index m, Index k, Index n,
         }
       }
       for (; i < i1; ++i) {
-        Scalar* ci = c + i * n;
+        T* ci = c + i * n;
         for (Index p = p0; p < p1; ++p) {
-          const Scalar aip = a[p * m + i];
-          const Scalar* bp = b + p * n;
+          const T aip = a[p * m + i];
+          const T* bp = b + p * n;
           for (Index j = j0; j < j1; ++j) ci[j] += aip * bp[j];
         }
       }
@@ -109,14 +112,15 @@ void GemmTNPanel(Index i0, Index i1, Index m, Index k, Index n,
 // product of two contiguous rows, unrolled into four partial accumulators.
 // The combine order of the partials is fixed by the code, so results are
 // reproducible (though deliberately not identical to a 1-accumulator loop).
-void GemmNTPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
-                 const Scalar* b, Scalar* c) {
+template <typename T>
+void GemmNTPanel(Index i0, Index i1, Index k, Index n, const T* a, const T* b,
+                 T* c) {
   for (Index i = i0; i < i1; ++i) {
-    const Scalar* ai = a + i * k;
-    Scalar* ci = c + i * n;
+    const T* ai = a + i * k;
+    T* ci = c + i * n;
     for (Index j = 0; j < n; ++j) {
-      const Scalar* bj = b + j * k;
-      Scalar s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      const T* bj = b + j * k;
+      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
       Index p = 0;
       for (; p + 4 <= k; p += 4) {
         s0 += ai[p + 0] * bj[p + 0];
@@ -124,89 +128,110 @@ void GemmNTPanel(Index i0, Index i1, Index k, Index n, const Scalar* a,
         s2 += ai[p + 2] * bj[p + 2];
         s3 += ai[p + 3] * bj[p + 3];
       }
-      Scalar s = (s0 + s1) + (s2 + s3);
+      T s = (s0 + s1) + (s2 + s3);
       for (; p < k; ++p) s += ai[p] * bj[p];
       ci[j] = s;
     }
   }
 }
 
-void AxpyRange(Index n, Scalar alpha, const Scalar* x, Scalar* y) {
+template <typename T>
+void AxpyRange(Index n, T alpha, const T* x, T* y) {
   for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void AddScaledRange(Index n, const Scalar* x, Scalar alpha, const Scalar* y,
-                    Scalar* out) {
+template <typename T>
+void AddScaledRange(Index n, const T* x, T alpha, const T* y, T* out) {
   for (Index i = 0; i < n; ++i) out[i] = x[i] + alpha * y[i];
 }
 
-void ScaleRange(Index n, Scalar alpha, Scalar* x) {
+template <typename T>
+void ScaleRange(Index n, T alpha, T* x) {
   for (Index i = 0; i < n; ++i) x[i] *= alpha;
 }
 
-Scalar SumRange(Index n, const Scalar* x) {
-  Scalar s = 0.0;
+template <typename T>
+T SumRange(Index n, const T* x) {
+  T s = T(0);
   for (Index i = 0; i < n; ++i) s += x[i];
   return s;
 }
 
-Scalar DotRange(Index n, const Scalar* x, const Scalar* y) {
-  Scalar s = 0.0;
+template <typename T>
+T DotRange(Index n, const T* x, const T* y) {
+  T s = T(0);
   for (Index i = 0; i < n; ++i) s += x[i] * y[i];
   return s;
 }
 
-// The scalar transcendental maps call libm directly, so the scalar ISA
-// reproduces the pre-SIMD behavior bit for bit.
-void TanhRange(Index n, const Scalar* x, Scalar* out) {
+// The scalar transcendental maps call libm directly (the float instantiation
+// resolves to the float overloads), so the scalar ISA reproduces the
+// pre-SIMD behavior bit for bit at each dtype.
+template <typename T>
+void TanhRange(Index n, const T* x, T* out) {
   for (Index i = 0; i < n; ++i) out[i] = std::tanh(x[i]);
 }
 
-void SigmoidRange(Index n, const Scalar* x, Scalar* out) {
-  for (Index i = 0; i < n; ++i) out[i] = 1.0 / (1.0 + std::exp(-x[i]));
+template <typename T>
+void SigmoidRange(Index n, const T* x, T* out) {
+  for (Index i = 0; i < n; ++i) out[i] = T(1) / (T(1) + std::exp(-x[i]));
 }
 
-void ExpRange(Index n, const Scalar* x, Scalar* out) {
+template <typename T>
+void ExpRange(Index n, const T* x, T* out) {
   for (Index i = 0; i < n; ++i) out[i] = std::exp(x[i]);
 }
 
 // Batched-row movement. Pure copies (no arithmetic), so every backend is
-// bitwise identical by construction; the AVX2 versions only widen the moves.
+// bitwise identical by construction; the SIMD versions only widen the moves.
+template <typename T>
 void MaskedRowUpdateRows(Index rows, Index cols, const unsigned char* mask,
-                         const Scalar* src, Scalar* dst) {
+                         const T* src, T* dst) {
   for (Index r = 0; r < rows; ++r) {
     if (!mask[r]) continue;
-    const Scalar* s = src + r * cols;
-    Scalar* d = dst + r * cols;
+    const T* s = src + r * cols;
+    T* d = dst + r * cols;
     for (Index j = 0; j < cols; ++j) d[j] = s[j];
   }
 }
 
-void SelectRowsRange(Index count, Index cols, const Index* rows,
-                     const Scalar* src, Scalar* dst) {
+template <typename T>
+void SelectRowsRange(Index count, Index cols, const Index* rows, const T* src,
+                     T* dst) {
   for (Index i = 0; i < count; ++i) {
-    const Scalar* s = src + rows[i] * cols;
-    Scalar* d = dst + i * cols;
+    const T* s = src + rows[i] * cols;
+    T* d = dst + i * cols;
     for (Index j = 0; j < cols; ++j) d[j] = s[j];
   }
 }
 
-void ScatterRowsRange(Index count, Index cols, const Index* rows,
-                      const Scalar* src, Scalar* dst) {
+template <typename T>
+void ScatterRowsRange(Index count, Index cols, const Index* rows, const T* src,
+                      T* dst) {
   for (Index i = 0; i < count; ++i) {
-    const Scalar* s = src + i * cols;
-    Scalar* d = dst + rows[i] * cols;
+    const T* s = src + i * cols;
+    T* d = dst + rows[i] * cols;
     for (Index j = 0; j < cols; ++j) d[j] = s[j];
   }
+}
+
+template <typename T>
+constexpr KernelTable<T> MakeScalarTable() {
+  return KernelTable<T>{
+      GemmPanel<T>,      GemmTNPanel<T>, GemmNTPanel<T>,
+      AxpyRange<T>,      AddScaledRange<T>,
+      ScaleRange<T>,     SumRange<T>,    DotRange<T>,
+      TanhRange<T>,      SigmoidRange<T>,
+      ExpRange<T>,       MaskedRowUpdateRows<T>,
+      SelectRowsRange<T>,
+      ScatterRowsRange<T>,
+  };
 }
 
 }  // namespace
 
-constinit const KernelTable kScalarTable = {
-    GemmPanel,      GemmTNPanel, GemmNTPanel, AxpyRange, AddScaledRange,
-    ScaleRange,     SumRange,    DotRange,    TanhRange, SigmoidRange,
-    ExpRange,       MaskedRowUpdateRows,      SelectRowsRange,
-    ScatterRowsRange,
-};
+constinit const KernelTable<double>  // dtype:ok — per-dtype table
+    kScalarTableF64 = MakeScalarTable<double>();
+constinit const KernelTable<float> kScalarTableF32 = MakeScalarTable<float>();
 
 }  // namespace diffode::kernels::detail

@@ -16,26 +16,45 @@ bool CpuHasAvx2Fma() {
 #endif
 }
 
+bool CpuHasAvx512() {
+#if DIFFODE_HAS_AVX512_BUILD && (defined(__x86_64__) || defined(_M_X64))
+  // The backend is compiled with -mavx512f -mavx512dq; both features must be
+  // present (DQ covers the 64-bit integer vector ops the f64 exp uses).
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
 // Startup resolution: DIFFODE_KERNEL_ISA if set and usable, else the best
-// the hardware offers. Warnings go to stderr so a bad override is visible
-// but harmless.
+// the hardware offers CAPPED AT AVX2 — the AVX-512 tier is opt-in (see
+// simd.h). Warnings go to stderr so a bad override is visible but harmless.
 Isa ResolveStartupIsa() {
-  const Isa best = BestSupportedIsa();
+  const Isa auto_isa = IsaSupported(Isa::kAvx2) ? Isa::kAvx2 : Isa::kScalar;
   const char* env = std::getenv("DIFFODE_KERNEL_ISA");
-  if (env == nullptr || env[0] == '\0') return best;
+  if (env == nullptr || env[0] == '\0') return auto_isa;
   if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
   if (std::strcmp(env, "avx2") == 0) {
-    if (best == Isa::kAvx2) return Isa::kAvx2;
+    if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
     std::fprintf(stderr,
                  "[DIFFODE] DIFFODE_KERNEL_ISA=avx2 requested but this "
                  "CPU/build has no AVX2+FMA support; using scalar kernels\n");
     return Isa::kScalar;
   }
+  if (std::strcmp(env, "avx512") == 0) {
+    if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
+    std::fprintf(stderr,
+                 "[DIFFODE] DIFFODE_KERNEL_ISA=avx512 requested but this "
+                 "CPU/build has no AVX-512 F+DQ support; using %s kernels\n",
+                 IsaName(auto_isa));
+    return auto_isa;
+  }
   std::fprintf(stderr,
                "[DIFFODE] unknown DIFFODE_KERNEL_ISA value \"%s\" "
-               "(expected \"scalar\" or \"avx2\"); using %s\n",
-               env, IsaName(best));
-  return best;
+               "(expected \"scalar\", \"avx2\", or \"avx512\"); using %s\n",
+               env, IsaName(auto_isa));
+  return auto_isa;
 }
 
 }  // namespace
@@ -64,17 +83,37 @@ const char* IsaName(Isa isa) {
       return "scalar";
     case Isa::kAvx2:
       return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2: {
+      static const bool has = CpuHasAvx2Fma();
+      return has;
+    }
+    case Isa::kAvx512: {
+      static const bool has = CpuHasAvx512();
+      return has;
+    }
+  }
+  return false;
+}
+
 Isa BestSupportedIsa() {
-  static const Isa best = CpuHasAvx2Fma() ? Isa::kAvx2 : Isa::kScalar;
+  static const Isa best = IsaSupported(Isa::kAvx512) ? Isa::kAvx512
+                          : IsaSupported(Isa::kAvx2) ? Isa::kAvx2
+                                                     : Isa::kScalar;
   return best;
 }
 
 bool SetActiveIsa(Isa isa) {
-  if (isa == Isa::kAvx2 && BestSupportedIsa() != Isa::kAvx2) return false;
+  if (!IsaSupported(isa)) return false;
   detail::g_active_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
   return true;
 }

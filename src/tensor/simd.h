@@ -7,22 +7,33 @@ namespace diffode::simd {
 
 // Instruction-set backends for the kernel layer (tensor/kernels.h). The
 // scalar backend is portable C++ and always present; kAvx2 is the AVX2+FMA
-// microkernel backend in kernels_avx2.cc, compiled only on x86-64.
+// microkernel backend in kernels_avx2.cc and kAvx512 the AVX-512 (F+DQ)
+// backend in kernels_avx512.cc, both compiled only on x86-64.
 //
-// Dispatch is resolved once at startup: the best ISA the CPU and the build
-// both support, overridable with DIFFODE_KERNEL_ISA=scalar|avx2. The
-// determinism contract is per ISA — for a fixed input and a fixed ISA every
-// kernel is bitwise reproducible at any thread count; switching ISA may move
-// results by rounding-level amounts (different accumulation widths / FMA).
+// Dispatch is resolved once at startup, overridable with
+// DIFFODE_KERNEL_ISA=scalar|avx2|avx512. Auto-resolution deliberately caps
+// at kAvx2 even on AVX-512 hardware: the default numeric path stays
+// bit-stable across machine generations (and avoids 512-bit frequency
+// licensing on older server parts); the AVX-512 tier is opt-in via the
+// environment override or SetActiveIsa. The determinism contract is per
+// ISA — for a fixed input and a fixed ISA every kernel is bitwise
+// reproducible at any thread count; switching ISA may move results by
+// rounding-level amounts (different accumulation widths / FMA).
 enum class Isa {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
-// Human-readable backend name ("scalar", "avx2").
+// Human-readable backend name ("scalar", "avx2", "avx512").
 const char* IsaName(Isa isa);
 
-// Best ISA both this binary and this CPU support (CPUID feature detection).
+// True if this binary and this CPU can run `isa` (CPUID feature detection).
+bool IsaSupported(Isa isa);
+
+// Best ISA both this binary and this CPU support. May exceed the startup
+// default (see above): BestSupportedIsa() reports hardware truth, the
+// resolver caps auto-dispatch at kAvx2.
 Isa BestSupportedIsa();
 
 namespace detail {
@@ -36,9 +47,9 @@ Isa ResolveActiveIsaSlow();
 }  // namespace detail
 
 // The ISA the kernel layer is currently dispatching to. Resolved once at
-// startup from BestSupportedIsa() and the DIFFODE_KERNEL_ISA environment
-// override; an override naming an unsupported ISA falls back to scalar with
-// a warning on stderr. Inline: this sits on every kernel dispatch.
+// startup from CPU detection (capped at kAvx2) and the DIFFODE_KERNEL_ISA
+// environment override; an override naming an unsupported ISA falls back
+// with a warning on stderr. Inline: this sits on every kernel dispatch.
 inline Isa ActiveIsa() {
   const int v = detail::g_active_isa.load(std::memory_order_relaxed);
   if (v >= 0) return static_cast<Isa>(v);

@@ -1,16 +1,19 @@
-// Scalar-vs-AVX2 backend equivalence and per-ISA determinism.
+// Cross-backend equivalence and per-ISA determinism, over the full
+// (dtype x ISA) matrix: {f64, f32} x {scalar, avx2, avx512}. SIMD legs skip
+// at runtime when the host CPU (or the build) lacks the ISA.
 //
-// The two backends are allowed to differ by rounding (FMA contraction, SIMD
-// lane association, polynomial transcendentals), so cross-ISA checks use an
-// ulp budget rather than bitwise equality. Within one ISA, results must be
-// bitwise identical at any thread count — the PR-1 determinism contract,
-// re-verified here for both backends.
+// Backends are allowed to differ by rounding (FMA contraction, SIMD lane
+// association, polynomial transcendentals), so cross-ISA checks use an ulp
+// budget in the dtype under test rather than bitwise equality. Within one
+// (ISA, dtype) pair, results must be bitwise identical at any thread count —
+// the PR-1 determinism contract, re-verified here for every backend.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -24,7 +27,14 @@
 namespace diffode::kernels {
 namespace {
 
-bool HasAvx2() { return simd::BestSupportedIsa() == simd::Isa::kAvx2; }
+// SIMD backends usable on this host/build, each compared against scalar.
+std::vector<simd::Isa> SimdIsas() {
+  std::vector<simd::Isa> isas;
+  if (simd::IsaSupported(simd::Isa::kAvx2)) isas.push_back(simd::Isa::kAvx2);
+  if (simd::IsaSupported(simd::Isa::kAvx512))
+    isas.push_back(simd::Isa::kAvx512);
+  return isas;
+}
 
 // Restores the startup ISA even if the test fails mid-way.
 struct IsaGuard {
@@ -40,33 +50,51 @@ struct ThreadCountGuard {
   ~ThreadCountGuard() { parallel::ThreadPool::SetNumThreads(0); }
 };
 
-// Distance in representable doubles between a and b (same-sign finite
+template <typename T>
+struct UlpInt;
+template <>
+struct UlpInt<double> {
+  using S = std::int64_t;
+};
+template <>
+struct UlpInt<float> {
+  using S = std::int32_t;
+};
+
+// Distance in representable values of T between a and b (same-sign finite
 // values; the monotone integer mapping of IEEE-754 makes this exact).
-std::uint64_t UlpDiff(double a, double b) {
+template <typename T>
+std::uint64_t UlpDiff(T a, T b) {
   if (a == b) return 0;
   if (std::isnan(a) && std::isnan(b)) return 0;
   if (std::isnan(a) || std::isnan(b)) return ~std::uint64_t{0};
-  std::int64_t ia, ib;
+  typename UlpInt<T>::S ia, ib;
   std::memcpy(&ia, &a, sizeof(ia));
   std::memcpy(&ib, &b, sizeof(ib));
   if ((ia < 0) != (ib < 0)) return ~std::uint64_t{0};  // opposite signs
-  const std::int64_t d = ia - ib;
+  const auto d = ia - ib;
   return static_cast<std::uint64_t>(d < 0 ? -d : d);
 }
 
-// Cross-ISA agreement: |got - want| within max_ulp, with an absolute escape
-// hatch for results that cancel to ~0 (ulp distance explodes near zero).
-void ExpectClose(const Tensor& got, const Tensor& want, std::uint64_t max_ulp,
-                 double abs_tol, const char* what) {
+// Cross-ISA agreement: |got - want| within max_ulp (in T's ulps), with an
+// absolute escape hatch for results that cancel to ~0 (ulp distance explodes
+// near zero).
+template <typename T>
+void ExpectClose(const TensorT<T>& got, const TensorT<T>& want,
+                 std::uint64_t max_ulp, double abs_tol, const char* what) {
   ASSERT_TRUE(got.shape() == want.shape());
   for (Index i = 0; i < got.numel(); ++i) {
-    if (std::fabs(got[i] - want[i]) <= abs_tol) continue;
+    if (std::fabs(static_cast<double>(got[i]) -
+                  static_cast<double>(want[i])) <= abs_tol)
+      continue;
     EXPECT_LE(UlpDiff(got[i], want[i]), max_ulp)
         << what << " i=" << i << " got=" << got[i] << " want=" << want[i];
   }
 }
 
-void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
+template <typename T>
+void ExpectBitwiseEqual(const TensorT<T>& a, const TensorT<T>& b,
+                        const char* what) {
   ASSERT_TRUE(a.shape() == b.shape());
   for (Index i = 0; i < a.numel(); ++i) {
     EXPECT_EQ(UlpDiff(a[i], b[i]), 0u)
@@ -74,9 +102,27 @@ void ExpectBitwiseEqual(const Tensor& a, const Tensor& b, const char* what) {
   }
 }
 
-// Shapes chosen to exercise every microkernel edge: sizes below one vector,
-// non-multiples of the 8-row / 4-column register blocks, the kc=256 packing
-// boundary of GemmTN, GEMV-like n=1, and empty tensors.
+// Per-dtype tolerances: the f32 columns scale the f64 ones by the epsilon
+// ratio (~1.2e-7 / 2.2e-16), keeping the same multiple-of-eps strictness.
+template <typename T>
+struct Tol;
+template <>
+struct Tol<double> {
+  static constexpr double kGemmAbs = 1e-13;
+  static constexpr double kVecAbs = 4e-15;
+  static constexpr double kSumRel = 1e-11;
+};
+template <>
+struct Tol<float> {
+  static constexpr double kGemmAbs = 5e-5;
+  static constexpr double kVecAbs = 2e-6;
+  static constexpr double kSumRel = 5e-4;
+};
+
+// Shapes chosen to exercise every microkernel edge: sizes below one vector
+// (f64 and f32 widths), non-multiples of the 8-row / 4-column register
+// blocks, the kc=256 packing boundary of GemmTN, GEMV-like n=1, and empty
+// tensors.
 struct GemmShape {
   Index m, k, n;
 };
@@ -87,26 +133,26 @@ const GemmShape kGemmShapes[] = {
 };
 
 template <typename Fn>
-Tensor WithIsa(simd::Isa isa, Fn fn) {
+auto WithIsa(simd::Isa isa, Fn fn) {
   IsaGuard guard(isa);
   return fn();
 }
 
-TEST(KernelsIsaTest, GemmFamilyMatchesScalarBackend) {
-  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+template <typename T>
+void CheckGemmFamily(simd::Isa simd_isa) {
   Rng rng(101);
   for (const auto& s : kGemmShapes) {
-    Tensor a = rng.NormalTensor(Shape{s.m, s.k});
-    Tensor b = rng.NormalTensor(Shape{s.k, s.n});
-    Tensor at = rng.NormalTensor(Shape{s.k, s.m});  // A stored transposed
-    Tensor bt = rng.NormalTensor(Shape{s.n, s.k});  // B stored transposed
+    TensorT<T> a = rng.NormalTensor(Shape{s.m, s.k}).template Cast<T>();
+    TensorT<T> b = rng.NormalTensor(Shape{s.k, s.n}).template Cast<T>();
+    // A / B stored transposed for the TN / NT variants.
+    TensorT<T> at = rng.NormalTensor(Shape{s.k, s.m}).template Cast<T>();
+    TensorT<T> bt = rng.NormalTensor(Shape{s.n, s.k}).template Cast<T>();
 
-    auto run = [&](simd::Isa isa, void (*gemm)(Index, Index, Index,
-                                               const Scalar*, const Scalar*,
-                                               Scalar*),
-                   const Tensor& lhs, const Tensor& rhs) {
+    auto run = [&](simd::Isa isa,
+                   void (*gemm)(Index, Index, Index, const T*, const T*, T*),
+                   const TensorT<T>& lhs, const TensorT<T>& rhs) {
       return WithIsa(isa, [&] {
-        Tensor c(Shape{s.m, s.n});
+        TensorT<T> c(Shape{s.m, s.n});
         gemm(s.m, s.k, s.n, lhs.data(), rhs.data(), c.data());
         return c;
       });
@@ -114,134 +160,184 @@ TEST(KernelsIsaTest, GemmFamilyMatchesScalarBackend) {
 
     // k accumulation magnifies rounding differences, so budget scales with k.
     const std::uint64_t ulp = 16 + 4 * static_cast<std::uint64_t>(s.k);
-    ExpectClose(run(simd::Isa::kAvx2, Gemm, a, b),
-                run(simd::Isa::kScalar, Gemm, a, b), ulp, 1e-13, "Gemm");
-    ExpectClose(run(simd::Isa::kAvx2, GemmTN, at, b),
-                run(simd::Isa::kScalar, GemmTN, at, b), ulp, 1e-13, "GemmTN");
-    ExpectClose(run(simd::Isa::kAvx2, GemmNT, a, bt),
-                run(simd::Isa::kScalar, GemmNT, a, bt), ulp, 1e-13, "GemmNT");
+    const double abs = Tol<T>::kGemmAbs;
+    ExpectClose<T>(run(simd_isa, Gemm<T>, a, b),
+                   run(simd::Isa::kScalar, Gemm<T>, a, b), ulp, abs, "Gemm");
+    ExpectClose<T>(run(simd_isa, GemmTN<T>, at, b),
+                   run(simd::Isa::kScalar, GemmTN<T>, at, b), ulp, abs,
+                   "GemmTN");
+    ExpectClose<T>(run(simd_isa, GemmNT<T>, a, bt),
+                   run(simd::Isa::kScalar, GemmNT<T>, a, bt), ulp, abs,
+                   "GemmNT");
   }
 }
 
-TEST(KernelsIsaTest, VectorOpsMatchScalarBackend) {
-  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+TEST(KernelsIsaTest, GemmFamilyMatchesScalarBackend) {
+  const auto isas = SimdIsas();
+  if (isas.empty()) GTEST_SKIP() << "no SIMD backend on this host/build";
+  for (simd::Isa isa : isas) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    CheckGemmFamily<double>(isa);
+    CheckGemmFamily<float>(isa);
+  }
+}
+
+template <typename T>
+void CheckVectorOps(simd::Isa simd_isa) {
   Rng rng(102);
-  for (Index n : {Index{0}, Index{1}, Index{3}, Index{4}, Index{7}, Index{64},
-                  Index{1001}, Index{20000}}) {
-    Tensor x = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
-    Tensor y0 = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
-    const Scalar alpha = 1.7;
+  for (Index n : {Index{0}, Index{1}, Index{3}, Index{4}, Index{7}, Index{15},
+                  Index{17}, Index{64}, Index{1001}, Index{20000}}) {
+    TensorT<T> x =
+        rng.NormalTensor(Shape{1, std::max<Index>(n, 1)}).template Cast<T>();
+    TensorT<T> y0 =
+        rng.NormalTensor(Shape{1, std::max<Index>(n, 1)}).template Cast<T>();
+    const T alpha = T(1.7);
 
     auto axpy = [&](simd::Isa isa) {
       return WithIsa(isa, [&] {
-        Tensor y = y0;
+        TensorT<T> y = y0;
         Axpy(n, alpha, x.data(), y.data());
         return y;
       });
     };
     auto add_scaled = [&](simd::Isa isa) {
       return WithIsa(isa, [&] {
-        Tensor out = Tensor::Uninit(x.shape());
+        TensorT<T> out = TensorT<T>::Uninit(x.shape());
         AddScaled(n, x.data(), alpha, y0.data(), out.data());
-        for (Index i = n; i < out.numel(); ++i) out[i] = 0.0;
+        for (Index i = n; i < out.numel(); ++i) out[i] = T(0);
         return out;
       });
     };
     auto scale = [&](simd::Isa isa) {
       return WithIsa(isa, [&] {
-        Tensor v = x;
+        TensorT<T> v = x;
         Scale(n, alpha, v.data());
         return v;
       });
     };
-    // Per-element ops: a*b+c contracts to FMA on the AVX2 backend only. The
+    // Per-element ops: a*b+c contracts to FMA on the SIMD backends only. The
     // absolute error is bounded by one rounding of the product (~eps·|αx|),
     // but the ulp distance of the SUM blows up when the add cancels, so the
     // budget pairs a small ulp cap with an operand-scaled absolute floor.
-    ExpectClose(axpy(simd::Isa::kAvx2), axpy(simd::Isa::kScalar), 4, 4e-15,
-                "Axpy");
-    ExpectClose(add_scaled(simd::Isa::kAvx2), add_scaled(simd::Isa::kScalar),
-                4, 4e-15, "AddScaled");
-    ExpectBitwiseEqual(scale(simd::Isa::kAvx2), scale(simd::Isa::kScalar),
-                       "Scale");
+    ExpectClose<T>(axpy(simd_isa), axpy(simd::Isa::kScalar), 4,
+                   Tol<T>::kVecAbs, "Axpy");
+    ExpectClose<T>(add_scaled(simd_isa), add_scaled(simd::Isa::kScalar), 4,
+                   Tol<T>::kVecAbs, "AddScaled");
+    ExpectBitwiseEqual<T>(scale(simd_isa), scale(simd::Isa::kScalar), "Scale");
   }
 }
 
-TEST(KernelsIsaTest, ReductionsMatchScalarBackend) {
-  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+TEST(KernelsIsaTest, VectorOpsMatchScalarBackend) {
+  const auto isas = SimdIsas();
+  if (isas.empty()) GTEST_SKIP() << "no SIMD backend on this host/build";
+  for (simd::Isa isa : isas) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    CheckVectorOps<double>(isa);
+    CheckVectorOps<float>(isa);
+  }
+}
+
+template <typename T>
+void CheckReductions(simd::Isa simd_isa) {
   Rng rng(103);
   for (Index n : {Index{0}, Index{1}, Index{5}, Index{4095}, Index{4096},
                   Index{4097}, Index{50000}}) {
-    Tensor x = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
-    Tensor y = rng.NormalTensor(Shape{1, std::max<Index>(n, 1)});
-    Scalar sum_avx, sum_sca, dot_avx, dot_sca;
+    TensorT<T> x =
+        rng.NormalTensor(Shape{1, std::max<Index>(n, 1)}).template Cast<T>();
+    TensorT<T> y =
+        rng.NormalTensor(Shape{1, std::max<Index>(n, 1)}).template Cast<T>();
+    T sum_simd, sum_sca, dot_simd, dot_sca;
     {
-      IsaGuard g(simd::Isa::kAvx2);
-      sum_avx = Sum(n, x.data());
-      dot_avx = Dot(n, x.data(), y.data());
+      IsaGuard g(simd_isa);
+      sum_simd = Sum(n, x.data());
+      dot_simd = Dot(n, x.data(), y.data());
     }
     {
       IsaGuard g(simd::Isa::kScalar);
       sum_sca = Sum(n, x.data());
       dot_sca = Dot(n, x.data(), y.data());
     }
-    const double tol = 1e-11 * std::sqrt(static_cast<double>(n) + 1.0);
-    EXPECT_NEAR(sum_avx, sum_sca, tol) << "n=" << n;
-    EXPECT_NEAR(dot_avx, dot_sca, tol) << "n=" << n;
+    const double tol =
+        Tol<T>::kSumRel * std::sqrt(static_cast<double>(n) + 1.0);
+    EXPECT_NEAR(sum_simd, sum_sca, tol) << "n=" << n;
+    EXPECT_NEAR(dot_simd, dot_sca, tol) << "n=" << n;
   }
 }
 
-TEST(KernelsIsaTest, TranscendentalsMatchLibm) {
-  if (!HasAvx2()) GTEST_SKIP() << "no AVX2+FMA on this host/build";
+TEST(KernelsIsaTest, ReductionsMatchScalarBackend) {
+  const auto isas = SimdIsas();
+  if (isas.empty()) GTEST_SKIP() << "no SIMD backend on this host/build";
+  for (simd::Isa isa : isas) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    CheckReductions<double>(isa);
+    CheckReductions<float>(isa);
+  }
+}
+
+template <typename T>
+void CheckTranscendentals(simd::Isa simd_isa) {
   // Regular range plus the branch points and extremes of the vector
-  // implementations: tanh's 0.625 split, exp's overflow/flush thresholds,
+  // implementations: tanh's 0.625 split, exp's overflow/flush thresholds
+  // (f64 thresholds; past the f32 range both paths saturate identically),
   // infinities and NaN.
-  std::vector<Scalar> xs;
+  std::vector<double> xs;
   Rng rng(104);
   for (int i = 0; i < 4000; ++i) xs.push_back(rng.Uniform(-30.0, 30.0));
-  for (Scalar s : {-1.0, 1.0}) {
-    for (Scalar v : {0.0, 1e-300, 1e-8, 0.624, 0.625, 0.626, 1.0, 19.0, 22.0,
-                     100.0, 708.0, 709.7, 709.9, 745.0, 746.0, 1e4})
+  for (double s : {-1.0, 1.0}) {
+    for (double v : {0.0, 1e-30, 1e-8, 0.624, 0.625, 0.626, 1.0, 19.0, 22.0,
+                     80.0, 87.0, 89.0, 100.0, 708.0, 709.7, 709.9, 745.0,
+                     746.0, 1e4})
       xs.push_back(s * v);
   }
-  xs.push_back(std::numeric_limits<Scalar>::infinity());
-  xs.push_back(-std::numeric_limits<Scalar>::infinity());
-  xs.push_back(std::numeric_limits<Scalar>::quiet_NaN());
+  xs.push_back(std::numeric_limits<double>::infinity());
+  xs.push_back(-std::numeric_limits<double>::infinity());
+  xs.push_back(std::numeric_limits<double>::quiet_NaN());
 
   const Index n = static_cast<Index>(xs.size());
-  Tensor x(Shape{1, n});
-  for (Index i = 0; i < n; ++i) x[i] = xs[static_cast<std::size_t>(i)];
+  TensorT<T> x(Shape{1, n});
+  for (Index i = 0; i < n; ++i)
+    x[i] = static_cast<T>(xs[static_cast<std::size_t>(i)]);
 
-  auto run = [&](simd::Isa isa, void (*map)(Index, const Scalar*, Scalar*)) {
+  auto run = [&](simd::Isa isa, void (*map)(Index, const T*, T*)) {
     return WithIsa(isa, [&] {
-      Tensor out = Tensor::Uninit(x.shape());
+      TensorT<T> out = TensorT<T>::Uninit(x.shape());
       map(n, x.data(), out.data());
       return out;
     });
   };
 
   // 4 ulp vs libm plus an absolute floor for subnormal exp results.
-  ExpectClose(run(simd::Isa::kAvx2, MapTanh), run(simd::Isa::kScalar, MapTanh),
-              4, 1e-300, "tanh");
-  ExpectClose(run(simd::Isa::kAvx2, MapSigmoid),
-              run(simd::Isa::kScalar, MapSigmoid), 4, 1e-300, "sigmoid");
-  ExpectClose(run(simd::Isa::kAvx2, MapExp), run(simd::Isa::kScalar, MapExp),
-              4, 1e-300, "exp");
+  const double abs = std::is_same_v<T, float> ? 1e-37 : 1e-300;
+  ExpectClose<T>(run(simd_isa, MapTanh<T>), run(simd::Isa::kScalar, MapTanh<T>),
+                 4, abs, "tanh");
+  ExpectClose<T>(run(simd_isa, MapSigmoid<T>),
+                 run(simd::Isa::kScalar, MapSigmoid<T>), 4, abs, "sigmoid");
+  ExpectClose<T>(run(simd_isa, MapExp<T>), run(simd::Isa::kScalar, MapExp<T>),
+                 4, abs, "exp");
 }
 
-TEST(KernelsIsaTest, BitwiseDeterministicAcrossThreadCountsPerIsa) {
-  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
-  if (HasAvx2()) isas.push_back(simd::Isa::kAvx2);
+TEST(KernelsIsaTest, TranscendentalsMatchLibm) {
+  const auto isas = SimdIsas();
+  if (isas.empty()) GTEST_SKIP() << "no SIMD backend on this host/build";
+  for (simd::Isa isa : isas) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    CheckTranscendentals<double>(isa);
+    CheckTranscendentals<float>(isa);
+  }
+}
+
+template <typename T>
+void CheckThreadDeterminism(const std::vector<simd::Isa>& isas) {
   Rng rng(105);
   const Index m = 96, k = 300, n = 40;
-  Tensor a = rng.NormalTensor(Shape{m, k});
-  Tensor b = rng.NormalTensor(Shape{k, n});
-  Tensor big = rng.NormalTensor(Shape{1, 50000});
+  TensorT<T> a = rng.NormalTensor(Shape{m, k}).template Cast<T>();
+  TensorT<T> b = rng.NormalTensor(Shape{k, n}).template Cast<T>();
+  TensorT<T> big = rng.NormalTensor(Shape{1, 50000}).template Cast<T>();
 
   for (simd::Isa isa : isas) {
     IsaGuard ig(isa);
-    Tensor c1(Shape{m, n}), t1 = Tensor::Uninit(big.shape());
-    Scalar s1;
+    TensorT<T> c1(Shape{m, n}), t1 = TensorT<T>::Uninit(big.shape());
+    T s1;
     {
       ThreadCountGuard tg(1);
       Gemm(m, k, n, a.data(), b.data(), c1.data());
@@ -250,30 +346,61 @@ TEST(KernelsIsaTest, BitwiseDeterministicAcrossThreadCountsPerIsa) {
     }
     for (int threads : {2, 4}) {
       ThreadCountGuard tg(threads);
-      Tensor c(Shape{m, n}), t = Tensor::Uninit(big.shape());
+      TensorT<T> c(Shape{m, n}), t = TensorT<T>::Uninit(big.shape());
       Gemm(m, k, n, a.data(), b.data(), c.data());
       MapTanh(big.numel(), big.data(), t.data());
-      const Scalar s = Sum(big.numel(), big.data());
-      ExpectBitwiseEqual(c, c1, simd::IsaName(isa));
-      ExpectBitwiseEqual(t, t1, simd::IsaName(isa));
-      EXPECT_EQ(UlpDiff(s, s1), 0u) << simd::IsaName(isa) << " threads=" << threads;
+      const T s = Sum(big.numel(), big.data());
+      ExpectBitwiseEqual<T>(c, c1, simd::IsaName(isa));
+      ExpectBitwiseEqual<T>(t, t1, simd::IsaName(isa));
+      EXPECT_EQ(UlpDiff(s, s1), 0u)
+          << simd::IsaName(isa) << " threads=" << threads;
     }
   }
+}
+
+TEST(KernelsIsaTest, BitwiseDeterministicAcrossThreadCountsPerIsa) {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  for (simd::Isa isa : SimdIsas()) isas.push_back(isa);
+  CheckThreadDeterminism<double>(isas);
+  CheckThreadDeterminism<float>(isas);
 }
 
 TEST(KernelsIsaTest, EnvOverrideAndDispatchStateAreConsistent) {
   // Whatever the startup resolution chose, it must be a supported ISA, and
   // SetActiveIsa must refuse unsupported requests without changing state.
   const simd::Isa active = simd::ActiveIsa();
-  EXPECT_TRUE(active == simd::Isa::kScalar || active == simd::Isa::kAvx2);
-  if (!HasAvx2()) {
-    EXPECT_EQ(active, simd::Isa::kScalar);
-    EXPECT_FALSE(simd::SetActiveIsa(simd::Isa::kAvx2));
-    EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  EXPECT_TRUE(simd::IsaSupported(active));
+  // Auto-resolution caps at AVX2; only the explicit override (or
+  // SetActiveIsa, exercised below) reaches AVX-512.
+  const char* env = std::getenv("DIFFODE_KERNEL_ISA");
+  if (env == nullptr || std::strcmp(env, "avx512") != 0) {
+    EXPECT_TRUE(active == simd::Isa::kScalar || active == simd::Isa::kAvx2);
   }
-  EXPECT_TRUE(simd::SetActiveIsa(simd::Isa::kScalar));
-  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::IsaSupported(isa)) {
+      EXPECT_TRUE(simd::SetActiveIsa(isa));
+      EXPECT_EQ(simd::ActiveIsa(), isa);
+    } else {
+      const simd::Isa before = simd::ActiveIsa();
+      EXPECT_FALSE(simd::SetActiveIsa(isa));
+      EXPECT_EQ(simd::ActiveIsa(), before);
+    }
+  }
   EXPECT_TRUE(simd::SetActiveIsa(active));
+}
+
+TEST(KernelsIsaTest, BestSupportedIsaOrdering) {
+  // BestSupportedIsa reports hardware truth and must be internally
+  // consistent with the IsaSupported predicate.
+  const simd::Isa best = simd::BestSupportedIsa();
+  EXPECT_TRUE(simd::IsaSupported(best));
+  if (simd::IsaSupported(simd::Isa::kAvx512))
+    EXPECT_EQ(best, simd::Isa::kAvx512);
+  else if (simd::IsaSupported(simd::Isa::kAvx2))
+    EXPECT_EQ(best, simd::Isa::kAvx2);
+  else
+    EXPECT_EQ(best, simd::Isa::kScalar);
 }
 
 }  // namespace

@@ -40,8 +40,9 @@ struct ThreadCountGuard {
 
 std::vector<simd::Isa> SupportedIsas() {
   std::vector<simd::Isa> isas = {simd::Isa::kScalar};
-  if (simd::BestSupportedIsa() == simd::Isa::kAvx2)
-    isas.push_back(simd::Isa::kAvx2);
+  if (simd::IsaSupported(simd::Isa::kAvx2)) isas.push_back(simd::Isa::kAvx2);
+  if (simd::IsaSupported(simd::Isa::kAvx512))
+    isas.push_back(simd::Isa::kAvx512);
   return isas;
 }
 

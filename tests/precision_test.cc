@@ -1,0 +1,332 @@
+// The f32 serving tier (Freeze(Precision::kF32) + diffode_f32.cc) vs the
+// f64 engine, across the DIFFODE variant zoo. Both models serve the SAME
+// f32-representable checkpoint (Freeze(kF32) rounds the parameters in
+// place before the snapshot, and the rounded weights are copied into the
+// f64 reference), so every difference below is pure compute precision:
+//   - classification logits agree within 1e-4 relative on the typical
+//     (median) row, with the conditioning-driven tail explicitly bounded
+//     at p90 and hard-max, and the argmax matches on >= 99% of sequences
+//     across the zoo;
+//   - regression predictions agree under the same tiered contract (median
+//     1e-4, p90 1e-3, hard max per readout);
+//   - the routing contract: a kF32-frozen model reports serving_precision()
+//     == kF32 and its batched forwards return finite f64 tensors of the
+//     usual shapes.
+//
+// The zoo checkpoints are TRAINED (briefly, like serialize_roundtrip_test)
+// rather than random inits. That is the population the serving tier exists
+// for, and it matters for the bounds: an untrained Xavier-random dynamics
+// function can chaotically amplify per-step f32 state rounding by ~1e5x,
+// while the consistency-regularized dynamics that training produces keep
+// the amplification benign. The bounds above are the serving contract for
+// real checkpoints, not for noise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/batched_model.h"
+#include "core/diffode_model.h"
+#include "data/generators.h"
+#include "data/sequence_batch.h"
+#include "tensor/random.h"
+#include "train/trainer.h"
+
+namespace diffode {
+namespace {
+
+core::DiffOdeConfig SmallConfig() {
+  core::DiffOdeConfig config;
+  config.input_dim = 2;
+  config.latent_dim = 8;
+  config.hippo_dim = 6;
+  config.info_dim = 6;
+  config.mlp_hidden = 12;
+  config.num_classes = 3;
+  config.step = 0.5;
+  return config;
+}
+
+// Zoo models train on the shared synthetic-periodic task (1 feature, 2
+// classes); everything else matches SmallConfig.
+core::DiffOdeConfig TrainableConfig() {
+  core::DiffOdeConfig config = SmallConfig();
+  config.input_dim = 1;
+  config.num_classes = 2;
+  return config;
+}
+
+// Same random irregular-series recipe as tests/batched_equiv_test.cc; used
+// by the routing test, which needs no trained weights.
+data::IrregularSeries MakeSeries(std::uint64_t seed, Index features = 2) {
+  Rng rng(seed);
+  data::IrregularSeries s;
+  const Index n = 6 + static_cast<Index>(rng.Uniform(0.0, 6.0));
+  s.values = Tensor(Shape{n, features});
+  s.mask = Tensor(Shape{n, features});
+  Scalar t = rng.Uniform(0.0, 0.3);
+  for (Index i = 0; i < n; ++i) {
+    t += rng.Uniform(0.1, 0.9);
+    s.times.push_back(t);
+    Index observed = 0;
+    for (Index j = 0; j < features; ++j) {
+      if (rng.Uniform(0.0, 1.0) < 0.75) {
+        s.mask.at(i, j) = 1.0;
+        ++observed;
+      }
+      s.values.at(i, j) =
+          std::sin(t + static_cast<Scalar>(j)) + rng.Normal(0.0, 0.1);
+    }
+    if (observed == 0) s.mask.at(i, i % features) = 1.0;
+  }
+  s.label = static_cast<Index>(seed % 2);
+  return s;
+}
+
+std::vector<data::IrregularSeries> MakeBatchSeries(Index b,
+                                                   std::uint64_t seed0) {
+  std::vector<data::IrregularSeries> out;
+  out.reserve(static_cast<std::size_t>(b));
+  for (Index r = 0; r < b; ++r)
+    out.push_back(MakeSeries(seed0 + static_cast<std::uint64_t>(r)));
+  return out;
+}
+
+// The DIFFODE variant zoo: strategies, heads, encoders, attention on/off,
+// multi-head — every code path of the f32 engine.
+std::vector<core::DiffOdeConfig> ZooConfigs() {
+  std::vector<core::DiffOdeConfig> configs;
+  configs.push_back(TrainableConfig());
+  {
+    core::DiffOdeConfig c = TrainableConfig();
+    c.pt_strategy = sparsity::PtStrategy::kMinNorm;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = TrainableConfig();
+    c.pt_strategy = sparsity::PtStrategy::kAdaH;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = TrainableConfig();
+    c.head = core::OutputHead::kDirect;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = TrainableConfig();
+    c.use_attention = false;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = TrainableConfig();
+    c.encoder = core::EncoderType::kMlp;
+    configs.push_back(c);
+  }
+  {
+    core::DiffOdeConfig c = TrainableConfig();
+    c.num_heads = 2;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+// Shared training task for the whole zoo (built once; training below is the
+// slow part, not generation).
+const data::Dataset& ZooDataset() {
+  static const data::Dataset* ds = [] {
+    data::SyntheticPeriodicConfig config;
+    config.num_series = 40;
+    config.grid_points = 10;
+    config.noise_std = 0.05;
+    auto* out = new data::Dataset(data::MakeSyntheticPeriodic(config));
+    return out;
+  }();
+  return *ds;
+}
+
+// Serving inputs for the comparisons: the dataset's own sequences (test
+// split first, then train) — the distribution the checkpoint was trained
+// on, i.e. what serving actually sees.
+std::vector<const data::IrregularSeries*> ZooBatchPtrs(Index b) {
+  const data::Dataset& ds = ZooDataset();
+  std::vector<const data::IrregularSeries*> ptrs;
+  ptrs.reserve(static_cast<std::size_t>(b));
+  for (const auto& s : ds.test)
+    if (static_cast<Index>(ptrs.size()) < b) ptrs.push_back(&s);
+  for (const auto& s : ds.train)
+    if (static_cast<Index>(ptrs.size()) < b) ptrs.push_back(&s);
+  return ptrs;
+}
+
+// Builds an (f64-serving, f32-serving) model pair over the SAME trained,
+// f32-representable checkpoint: train a model for this config, copy its
+// weights into the f32 model and freeze that at kF32 (rounding the
+// parameters through float in place), then copy the ROUNDED weights into
+// the f64 model and freeze that at the default precision.
+void MakeTrainedServingPair(const core::DiffOdeConfig& config,
+                            std::unique_ptr<core::DiffOde>* f64_model,
+                            std::unique_ptr<core::DiffOde>* f32_model) {
+  core::DiffOde trained(config);
+  train::TrainOptions options;
+  options.epochs = 40;
+  options.batch_size = 16;
+  options.lr = 3e-3;
+  options.patience = 100;
+  (void)train::TrainClassifier(&trained, ZooDataset(), options);
+
+  *f32_model = std::make_unique<core::DiffOde>(config);
+  const std::vector<ag::Var> src = trained.Params();
+  {
+    std::vector<ag::Var> dst = (*f32_model)->Params();
+    ASSERT_EQ(src.size(), dst.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+      dst[i].node()->value = src[i].value();
+  }
+  (*f32_model)->Freeze(Precision::kF32);
+
+  core::DiffOdeConfig other = config;
+  other.seed = config.seed + 777;  // every weight must come from the copy
+  *f64_model = std::make_unique<core::DiffOde>(other);
+  const std::vector<ag::Var> rounded = (*f32_model)->Params();
+  std::vector<ag::Var> dst = (*f64_model)->Params();
+  ASSERT_EQ(rounded.size(), dst.size());
+  for (std::size_t i = 0; i < rounded.size(); ++i) {
+    ASSERT_TRUE(rounded[i].value().shape() == dst[i].value().shape());
+    dst[i].node()->value = rounded[i].value();
+  }
+  (*f64_model)->Freeze();
+}
+
+TEST(PrecisionTest, ServingPrecisionIsReportedAndRouted) {
+  core::DiffOde model(SmallConfig());
+  EXPECT_EQ(model.serving_precision(), Precision::kF64);
+  model.Freeze(Precision::kF32);
+  EXPECT_EQ(model.serving_precision(), Precision::kF32);
+  EXPECT_STREQ(PrecisionName(model.serving_precision()), "f32");
+
+  const std::vector<data::IrregularSeries> series = MakeBatchSeries(4, 50);
+  std::vector<const data::IrregularSeries*> ptrs;
+  for (const auto& s : series) ptrs.push_back(&s);
+  const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+  const Tensor logits = model.ClassifyLogitsBatched(batch);
+  ASSERT_EQ(logits.rows(), 4);
+  ASSERT_EQ(logits.cols(), 3);
+  EXPECT_TRUE(logits.AllFinite());
+  const std::vector<std::vector<Scalar>> times(
+      4, std::vector<Scalar>{series[0].times.front(), 2.0});
+  const auto preds = model.PredictAtBatched(batch, times);
+  ASSERT_EQ(preds.size(), 4u);
+  for (const auto& row : preds)
+    for (const Tensor& p : row) {
+      ASSERT_EQ(p.cols(), 2);
+      EXPECT_TRUE(p.AllFinite());
+    }
+}
+
+// Logit agreement across the zoo. The contract has three tiers, matching
+// what a mixed-precision ODE can actually promise (docs/performance.md
+// "Serving precision" derives the numbers):
+//   - the TYPICAL row agrees within 1e-4 relative (median bound);
+//   - a small conditioning-driven tail exists — rows whose DHS context has
+//     a near-singular Gram matrix amplify the one-time f32 rounding of
+//     (Zᵀ)† through the integration horizon — bounded at p90 and hard-max;
+//   - the decision-level contract: argmax matches on >= 99% of sequences.
+TEST(PrecisionTest, ZooLogitsAgreeWithF64AndArgmaxMatches) {
+  const Index b = 16;
+  Index total = 0;
+  Index argmax_match = 0;
+  std::vector<Scalar> rel_errs;
+  for (const core::DiffOdeConfig& config : ZooConfigs()) {
+    std::unique_ptr<core::DiffOde> m64, m32;
+    MakeTrainedServingPair(config, &m64, &m32);
+    const std::vector<const data::IrregularSeries*> ptrs = ZooBatchPtrs(b);
+    const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+    const Tensor ref = m64->ClassifyLogitsBatched(batch);
+    const Tensor got = m32->ClassifyLogitsBatched(batch);
+    ASSERT_TRUE(ref.shape() == got.shape());
+    for (Index r = 0; r < ref.rows(); ++r) {
+      Scalar num = 0.0, den = 1.0;
+      Index ref_arg = 0, got_arg = 0;
+      for (Index j = 0; j < ref.cols(); ++j) {
+        num = std::max(num, std::fabs(got.at(r, j) - ref.at(r, j)));
+        den = std::max(den, std::fabs(ref.at(r, j)));
+        if (ref.at(r, j) > ref.at(r, ref_arg)) ref_arg = j;
+        if (got.at(r, j) > got.at(r, got_arg)) got_arg = j;
+      }
+      rel_errs.push_back(num / den);
+      ++total;
+      if (ref_arg == got_arg) ++argmax_match;
+    }
+  }
+  std::sort(rel_errs.begin(), rel_errs.end());
+  const auto quantile = [&](double q) {
+    return rel_errs[static_cast<std::size_t>(
+        q * static_cast<double>(rel_errs.size() - 1))];
+  };
+  EXPECT_LE(quantile(0.5), 1e-4) << "median per-row relative deviation";
+  EXPECT_LE(quantile(0.9), 5e-3) << "p90 per-row relative deviation";
+  // The hard max is a catastrophe backstop, not a precision promise: the
+  // single worst conditioning-tail row depends on the trained checkpoint,
+  // which depends on build codegen as well as kernel ISA (sanitizer builds
+  // change FMA contraction in the scalar paths, shifting training
+  // arithmetic). Measured worst rows sit near 5e-2 on release builds and
+  // ~1e-1 under ASan; order-unity divergence would mean a real bug.
+  EXPECT_LE(rel_errs.back(), 1.5e-1) << "worst per-row relative deviation";
+  // >= 99% argmax agreement across the zoo — the decision-level contract
+  // the serving tier actually promises.
+  EXPECT_GE(static_cast<double>(argmax_match),
+            0.99 * static_cast<double>(total));
+}
+
+// Regression/interpolation agreement across the zoo, under the same tiered
+// contract as the logits: the trained checkpoint (and therefore its DHS
+// conditioning) depends on the dispatched kernel ISA, so a fixed
+// per-element bound is ISA-fragile — a scalar-kernel training run can place
+// one row in the conditioning tail that the AVX2 run doesn't.
+TEST(PrecisionTest, ZooPredictionsAgreeWithF64) {
+  std::vector<Scalar> rel_errs;
+  for (const core::DiffOdeConfig& config : ZooConfigs()) {
+    std::unique_ptr<core::DiffOde> m64, m32;
+    MakeTrainedServingPair(config, &m64, &m32);
+    const std::vector<const data::IrregularSeries*> ptrs = ZooBatchPtrs(6);
+    const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+    std::vector<std::vector<Scalar>> times;
+    times.reserve(ptrs.size());
+    for (const data::IrregularSeries* s : ptrs) {
+      const Scalar lo = s->times.front(), hi = s->times.back();
+      times.push_back({lo - 0.4, 0.5 * (lo + hi), hi + 0.7});
+    }
+    const auto ref = m64->PredictAtBatched(batch, times);
+    const auto got = m32->PredictAtBatched(batch, times);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+      ASSERT_EQ(ref[r].size(), got[r].size());
+      for (std::size_t k = 0; k < ref[r].size(); ++k) {
+        const Tensor& a = got[r][k];
+        const Tensor& e = ref[r][k];
+        ASSERT_TRUE(a.shape() == e.shape());
+        EXPECT_TRUE(a.AllFinite());
+        Scalar num = 0.0, den = 1.0;
+        for (Index j = 0; j < e.numel(); ++j) {
+          num = std::max(num, std::fabs(a[j] - e[j]));
+          den = std::max(den, std::fabs(e[j]));
+        }
+        rel_errs.push_back(num / den);
+      }
+    }
+  }
+  std::sort(rel_errs.begin(), rel_errs.end());
+  const auto quantile = [&](double q) {
+    return rel_errs[static_cast<std::size_t>(
+        q * static_cast<double>(rel_errs.size() - 1))];
+  };
+  EXPECT_LE(quantile(0.5), 1e-4) << "median per-readout relative deviation";
+  EXPECT_LE(quantile(0.9), 1e-3) << "p90 per-readout relative deviation";
+  EXPECT_LE(rel_errs.back(), 5e-2) << "worst per-readout relative deviation";
+}
+
+}  // namespace
+}  // namespace diffode

@@ -17,6 +17,7 @@
 #include "baselines/zoo.h"
 #include "core/diffode_model.h"
 #include "data/generators.h"
+#include "data/sequence_batch.h"
 #include "nn/serialize.h"
 #include "tensor/random.h"
 #include "train/trainer.h"
@@ -112,6 +113,55 @@ TEST(SerializeRoundtripTest, FrozenReloadMatchesTrainedModelBitwise) {
   ASSERT_EQ(preds.size(), preds_ref.size());
   for (std::size_t k = 0; k < preds.size(); ++k)
     ExpectBitwiseEqual(preds[k].value(), preds_ref[k], "PredictAt");
+  std::remove(path.c_str());
+}
+
+// Serialization stores plain f64 on disk in every precision; Freeze(kF32)
+// rounds the parameters through float BEFORE the snapshot cast, so a
+// save -> load -> Freeze(kF32) round-trip rebuilds the frozen f32 serving
+// snapshot bit for bit: the reloaded weights round to themselves (the
+// rounding is idempotent) and the f32 engine is deterministic.
+TEST(SerializeRoundtripTest, FrozenF32SnapshotReloadsBitExact) {
+  core::DiffOde a(TinyConfig());
+  a.Freeze(Precision::kF32);
+  ASSERT_EQ(a.serving_precision(), Precision::kF32);
+  const std::string path = CheckpointPath("diffode_f32_roundtrip.ckpt");
+  auto a_params = a.Params();
+  ASSERT_TRUE(nn::SaveParams(a_params, path));
+
+  core::DiffOdeConfig config2 = TinyConfig();
+  config2.seed = 4321;  // every weight must come from the file
+  core::DiffOde b(config2);
+  auto b_params = b.Params();
+  ASSERT_TRUE(nn::LoadParams(&b_params, path));
+  b.Freeze(Precision::kF32);
+
+  // The reloaded parameters are already f32-representable, so the second
+  // rounding is the identity and both masters are bitwise equal.
+  const auto pa = a.Params();
+  const auto pb = b.Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    ExpectBitwiseEqual(pa[i].value(), pb[i].value(), "f32 param");
+
+  // And the f32 engines over the two snapshots produce bitwise-identical
+  // serving outputs.
+  const data::IrregularSeries s1 = TinySeries(31);
+  const data::IrregularSeries s2 = TinySeries(32);
+  const std::vector<const data::IrregularSeries*> ptrs = {&s1, &s2};
+  const data::SequenceBatch batch = data::MakeSequenceBatch(ptrs);
+  ExpectBitwiseEqual(a.ClassifyLogitsBatched(batch),
+                     b.ClassifyLogitsBatched(batch), "f32 logits");
+  const std::vector<std::vector<Scalar>> times(
+      2, std::vector<Scalar>{s1.times.front(), s1.times.back() + 0.5});
+  const auto preds_a = a.PredictAtBatched(batch, times);
+  const auto preds_b = b.PredictAtBatched(batch, times);
+  ASSERT_EQ(preds_a.size(), preds_b.size());
+  for (std::size_t r = 0; r < preds_a.size(); ++r) {
+    ASSERT_EQ(preds_a[r].size(), preds_b[r].size());
+    for (std::size_t k = 0; k < preds_a[r].size(); ++k)
+      ExpectBitwiseEqual(preds_a[r][k], preds_b[r][k], "f32 pred");
+  }
   std::remove(path.c_str());
 }
 
